@@ -1,0 +1,51 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+rows next to the paper's reference values, so ``pytest benchmarks/
+--benchmark-only`` doubles as the reproduction record (see EXPERIMENTS.md).
+
+Scale knobs (environment variables):
+
+``REPRO_BENCH_SEEDS``      random applications per dimension (default 2;
+                           paper used 15)
+``REPRO_BENCH_TIME_SCALE`` multiplier on the per-size search budgets
+                           (default 0.3; >= 10 approaches paper scale)
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+
+def bench_seeds(default: int = 2) -> tuple[int, ...]:
+    return tuple(range(int(os.environ.get("REPRO_BENCH_SEEDS", default))))
+
+
+def bench_time_scale(default: float = 0.3) -> float:
+    return float(os.environ.get("REPRO_BENCH_TIME_SCALE", default))
+
+
+@pytest.fixture
+def seeds() -> tuple[int, ...]:
+    return bench_seeds()
+
+
+@pytest.fixture
+def time_scale() -> float:
+    return bench_time_scale()
+
+
+def print_block(title: str, body: str) -> None:
+    """Emit a result block on the *real* stdout.
+
+    pytest captures ``sys.stdout`` unless ``-s`` is given; the regenerated
+    paper tables are the point of this harness, so they are written to the
+    unbuffered original stream and always reach the console / tee file.
+    """
+    bar = "=" * 72
+    stream = sys.__stdout__ or sys.stdout
+    stream.write(f"\n{bar}\n{title}\n{bar}\n{body}\n\n")
+    stream.flush()

@@ -1,0 +1,42 @@
+"""Micro-benchmarks of the core machinery (not a paper table).
+
+These track the throughput the design-space exploration depends on: one
+tabu-search iteration evaluates dozens of candidate implementations, each a
+full list-scheduling + worst-case-analysis pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gen.suite import generate_case
+from repro.model.merge import merge_application
+from repro.opt.evaluator import Evaluator
+from repro.opt.initial import initial_bus_access, initial_mpa
+from repro.sim.engine import SystemSimulator
+from repro.sim.faults import FAULT_FREE
+
+
+def _setup(n, nodes, k):
+    case = generate_case(n, nodes, k, mu=5.0, seed=0)
+    merged = merge_application(case.application)
+    bus = initial_bus_access(case.application, case.architecture)
+    evaluator = Evaluator(merged, case.faults, cache=False)
+    impl = initial_mpa(merged, case.architecture, case.faults, bus)
+    return evaluator, impl
+
+
+@pytest.mark.parametrize("n,nodes,k", [(20, 2, 3), (60, 4, 5), (100, 6, 7)])
+def test_schedule_evaluation_throughput(benchmark, n, nodes, k):
+    """Full schedule + (k, µ) worst-case analysis of one implementation."""
+    evaluator, impl = _setup(n, nodes, k)
+    benchmark(evaluator.evaluate, impl)
+
+
+@pytest.mark.parametrize("n,nodes,k", [(20, 2, 3), (60, 4, 5)])
+def test_fault_injection_throughput(benchmark, n, nodes, k):
+    """One simulated cycle of a synthesized schedule (fault-free scenario)."""
+    evaluator, impl = _setup(n, nodes, k)
+    schedule = evaluator.schedule(impl)
+    simulator = SystemSimulator(schedule)
+    benchmark(simulator.run, FAULT_FREE)

@@ -1,0 +1,46 @@
+"""Benchmark: Table 1a — MXR overhead versus application size (paper §6).
+
+Paper reference (15 random apps per row, hours of tabu search per app):
+
+    procs  k   %max    %avg    %min
+    20     3   98.36   70.67   48.87
+    40     4  116.77   84.78   47.30
+    60     5  142.63   99.59   51.90
+    80     6  177.95  120.55   90.70
+    100    7  215.83  149.47  100.37
+
+The scaled-down defaults (2 seeds, ~0.3x budget) reproduce the shape: the
+average overhead is around 100% and grows with the application size.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_block
+from repro.experiments.reporting import format_table1
+from repro.experiments.table1 import table1a
+
+PAPER_ROWS = {
+    "20 procs": (98.36, 70.67, 48.87),
+    "40 procs": (116.77, 84.78, 47.30),
+    "60 procs": (142.63, 99.59, 51.90),
+    "80 procs": (177.95, 120.55, 90.70),
+    "100 procs": (215.83, 149.47, 100.37),
+}
+
+
+def test_table1a(benchmark, seeds, time_scale):
+    rows = benchmark.pedantic(
+        table1a,
+        kwargs={"seeds": seeds, "time_scale": time_scale},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [format_table1(rows, "Table 1a (measured): MXR overhead vs NFT")]
+    lines.append("\npaper reference:")
+    for label, (mx, avg, mn) in PAPER_ROWS.items():
+        lines.append(f"{label:<14} {mx:8.2f} {avg:8.2f} {mn:8.2f}")
+    print_block("TABLE 1a", "\n".join(lines))
+
+    # Shape assertions: overheads are positive and generally grow with size.
+    assert all(row.avg_overhead > 0 for row in rows)
+    assert rows[-1].avg_overhead > rows[0].avg_overhead * 0.8

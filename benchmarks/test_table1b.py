@@ -1,0 +1,44 @@
+"""Benchmark: Table 1b — MXR overhead versus number of faults k (paper §6).
+
+Paper reference (60 processes, 4 nodes, µ = 5 ms):
+
+    k    %max    %avg    %min
+    2    52.44   32.72   19.52
+    4   110.22   76.81   46.67
+    6   162.09  118.58   81.69
+    8   250.55  174.07  117.84
+    10  292.11  219.79  154.93
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_block
+from repro.experiments.reporting import format_table1
+from repro.experiments.table1 import table1b
+
+PAPER_ROWS = {
+    2: (52.44, 32.72, 19.52),
+    4: (110.22, 76.81, 46.67),
+    6: (162.09, 118.58, 81.69),
+    8: (250.55, 174.07, 117.84),
+    10: (292.11, 219.79, 154.93),
+}
+
+
+def test_table1b(benchmark, seeds, time_scale):
+    rows = benchmark.pedantic(
+        table1b,
+        kwargs={"seeds": seeds, "time_scale": time_scale},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [format_table1(rows, "Table 1b (measured): overhead vs fault count")]
+    lines.append("\npaper reference:")
+    for k, (mx, avg, mn) in PAPER_ROWS.items():
+        lines.append(f"k = {k:<10} {mx:8.2f} {avg:8.2f} {mn:8.2f}")
+    print_block("TABLE 1b", "\n".join(lines))
+
+    # Shape: overheads increase substantially with k.
+    averages = [row.avg_overhead for row in rows]
+    assert averages[0] < averages[-1]
+    assert all(avg > 0 for avg in averages)

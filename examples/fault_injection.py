@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Watch a synthesized schedule execute under injected transient faults.
+
+The script optimizes a random 12-process application (k = 2, µ = 5 ms),
+then replays one operation cycle under a few hand-picked fault scenarios,
+printing what each node kernel actually did — re-executions sliding into
+recovery slack, replicas failing over, frames missing their TDMA slots —
+and finally validates the schedule against every scenario of up to k
+faults.
+
+Run:  python examples/fault_injection.py
+"""
+
+from repro.gen.suite import generate_case
+from repro.opt.strategy import OptimizationConfig, optimize
+from repro.sim.engine import SystemSimulator
+from repro.sim.faults import FAULT_FREE, FaultScenario, adversarial_scenarios
+from repro.sim.validate import validate_schedule
+
+
+def describe_run(simulator, scenario) -> None:
+    result = simulator.run(scenario)
+    print(f"--- scenario: {scenario.describe()} ---")
+    for iid in simulator.schedule.order:
+        record = result.executions.get(iid)
+        if record is None:
+            print(f"  {iid:<12} STARVED")
+            continue
+        placed = simulator.schedule.placements[iid]
+        status = "ok" if record.produced else "DEAD"
+        shift = record.finish - placed.root_finish
+        note = f"  (+{shift:.0f} ms vs fault-free)" if shift > 1e-6 else ""
+        print(
+            f"  {iid:<12} start {record.start:7.1f}  finish {record.finish:7.1f}"
+            f"  attempts {record.attempts}  {status}{note}"
+        )
+    worst = max(result.completions.values())
+    bound = simulator.schedule.makespan
+    print(f"  cycle completed at {worst:.1f} ms (analytical bound {bound:.1f} ms)\n")
+
+
+def main() -> None:
+    case = generate_case(12, 2, 2, mu=5.0, seed=11)
+    config = OptimizationConfig(minimize=True, rounds=2, tabu_max_iterations=10)
+    result = optimize(case.application, case.architecture, case.faults, "MXR", config)
+    print(
+        f"optimized 12 processes / 2 nodes, k=2, mu=5 ms -> "
+        f"schedule length {result.makespan:.1f} ms\n"
+    )
+
+    simulator = SystemSimulator(result.schedule)
+    describe_run(simulator, FAULT_FREE)
+
+    # Hit the process with the largest WCET twice (worst time redundancy).
+    heaviest = max(
+        result.schedule.placements.values(), key=lambda p: p.root_finish - p.root_start
+    )
+    describe_run(simulator, FaultScenario({heaviest.instance_id: 2}))
+
+    # A directed adversarial scenario from the generator.
+    for scenario in adversarial_scenarios(result.schedule.ft, 2)[:2]:
+        if scenario.total_faults:
+            describe_run(simulator, scenario)
+            break
+
+    report = validate_schedule(result.schedule, samples=300)
+    print(f"validation across scenarios: {report.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro: fault-tolerant distributed embedded system design optimization.
+
+Reproduction of Izosimov, Pop, Eles & Peng, *Design Optimization of Time-
+and Cost-Constrained Fault-Tolerant Distributed Embedded Systems*,
+DATE 2005 (DOI 10.1109/DATE.2005.116).
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    FaultToleranceViolation,
+    ModelError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.model.application import Application, Message, Process, ProcessGraph
+from repro.model.architecture import Architecture, Node, homogeneous_architecture
+from repro.model.fault import NO_FAULTS, FaultModel
+from repro.model.mapping import ReplicaMapping
+from repro.model.merge import merge_application
+from repro.model.policy import Policy, PolicyAssignment
+from repro.opt.strategy import OptimizationConfig, OptimizationResult, optimize
+from repro.schedule.list_scheduler import list_schedule
+from repro.schedule.table import SystemSchedule
+from repro.sim.validate import validate_schedule
+from repro.ttp.bus import BusConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "Architecture",
+    "BusConfig",
+    "ConfigurationError",
+    "FaultModel",
+    "FaultToleranceViolation",
+    "Message",
+    "ModelError",
+    "NO_FAULTS",
+    "Node",
+    "OptimizationConfig",
+    "OptimizationResult",
+    "Policy",
+    "PolicyAssignment",
+    "Process",
+    "ProcessGraph",
+    "ReplicaMapping",
+    "ReproError",
+    "SchedulingError",
+    "SimulationError",
+    "SystemSchedule",
+    "homogeneous_architecture",
+    "list_schedule",
+    "merge_application",
+    "optimize",
+    "validate_schedule",
+]

@@ -1,0 +1,17 @@
+"""Real-life application models used in the paper's evaluation (§6)."""
+
+from repro.apps.cruise_control import (
+    CC_DEADLINE_MS,
+    CC_FAULTS,
+    cruise_control_application,
+    cruise_control_architecture,
+    cruise_control_case,
+)
+
+__all__ = [
+    "CC_DEADLINE_MS",
+    "CC_FAULTS",
+    "cruise_control_application",
+    "cruise_control_architecture",
+    "cruise_control_case",
+]

@@ -1,0 +1,191 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Examples
+--------
+Scaled-down laptop runs (defaults)::
+
+    ftds table1a --seeds 3
+    ftds figure10 --seeds 2
+    ftds cc
+    ftds validate --processes 20 --nodes 2 --k 3
+
+Paper-scale runs (hours)::
+
+    ftds table1a --seeds 15 --time-scale 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.cruise import run_cruise_experiment
+from repro.experiments.figure10 import figure10
+from repro.experiments.reporting import (
+    format_cruise,
+    format_figure10,
+    format_table1,
+)
+from repro.experiments.runner import budget_for, run_variants
+from repro.experiments.table1 import table1a, table1b, table1c
+from repro.gen.suite import generate_case
+
+
+def _progress(line: str) -> None:
+    print(f"  .. {line}", file=sys.stderr)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seeds", type=int, default=3, help="random apps per row")
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        help="multiply per-size search budgets (>=10 approaches paper scale)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-case progress lines"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ftds",
+        description=(
+            "Fault-tolerant distributed embedded system design optimization "
+            "(reproduction of Izosimov et al., DATE 2005)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in (
+        ("table1a", "overhead vs application size (Table 1a)"),
+        ("table1b", "overhead vs number of faults (Table 1b)"),
+        ("table1c", "overhead vs fault duration (Table 1c)"),
+        ("figure10", "MX/MR/SFX deviation from MXR (Figure 10)"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        _add_common(sub)
+
+    subparsers.add_parser("cc", help="cruise controller experiment (paper §6)")
+
+    validate = subparsers.add_parser(
+        "validate", help="optimize one random case and fault-inject the schedule"
+    )
+    validate.add_argument("--processes", type=int, default=20)
+    validate.add_argument("--nodes", type=int, default=2)
+    validate.add_argument("--k", type=int, default=3)
+    validate.add_argument("--mu", type=float, default=5.0)
+    validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument("--samples", type=int, default=200)
+
+    gantt = subparsers.add_parser(
+        "gantt", help="optimize one random case and render the schedule"
+    )
+    gantt.add_argument("--processes", type=int, default=12)
+    gantt.add_argument("--nodes", type=int, default=2)
+    gantt.add_argument("--k", type=int, default=2)
+    gantt.add_argument("--mu", type=float, default=5.0)
+    gantt.add_argument("--seed", type=int, default=0)
+    gantt.add_argument("--width", type=int, default=80)
+
+    export = subparsers.add_parser(
+        "export", help="optimize one random case and write problem+solution JSON"
+    )
+    export.add_argument("output", help="path of the JSON file to write")
+    export.add_argument("--processes", type=int, default=12)
+    export.add_argument("--nodes", type=int, default=2)
+    export.add_argument("--k", type=int, default=2)
+    export.add_argument("--mu", type=float, default=5.0)
+    export.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+    progress = None if getattr(args, "quiet", True) else _progress
+
+    if args.command == "table1a":
+        seeds = tuple(range(args.seeds))
+        rows = table1a(seeds=seeds, time_scale=args.time_scale, progress=progress)
+        print(format_table1(rows, "Table 1a: MXR overhead vs application size"))
+    elif args.command == "table1b":
+        seeds = tuple(range(args.seeds))
+        rows = table1b(seeds=seeds, time_scale=args.time_scale, progress=progress)
+        print(format_table1(rows, "Table 1b: MXR overhead vs number of faults"))
+    elif args.command == "table1c":
+        seeds = tuple(range(args.seeds))
+        rows = table1c(seeds=seeds, time_scale=args.time_scale, progress=progress)
+        print(format_table1(rows, "Table 1c: MXR overhead vs fault duration"))
+    elif args.command == "figure10":
+        seeds = tuple(range(args.seeds))
+        rows = figure10(seeds=seeds, time_scale=args.time_scale, progress=progress)
+        print(format_figure10(rows))
+    elif args.command == "cc":
+        print(format_cruise(run_cruise_experiment()))
+    elif args.command == "validate":
+        _run_validate(args)
+    elif args.command == "gantt":
+        _run_gantt(args)
+    elif args.command == "export":
+        _run_export(args)
+    return 0
+
+
+def _optimize_random_case(args):
+    from repro.opt.strategy import optimize
+
+    case = generate_case(
+        args.processes, args.nodes, args.k, mu=args.mu, seed=args.seed
+    )
+    config = budget_for(args.processes)
+    result = optimize(
+        case.application, case.architecture, case.faults, "MXR", config
+    )
+    return case, result
+
+
+def _run_gantt(args) -> None:
+    from repro.schedule.gantt import GanttOptions, render_gantt
+
+    _, result = _optimize_random_case(args)
+    print(render_gantt(result.schedule, GanttOptions(width=args.width)))
+
+
+def _run_export(args) -> None:
+    from repro.io.json_codec import save_case
+
+    case, result = _optimize_random_case(args)
+    save_case(
+        args.output,
+        case.application,
+        case.architecture,
+        case.faults,
+        result.implementation,
+    )
+    print(
+        f"wrote {args.output}: {args.processes} processes on {args.nodes} "
+        f"nodes, schedule length {result.makespan:.1f} ms"
+    )
+
+
+def _run_validate(args: argparse.Namespace) -> None:
+    from repro.opt.strategy import optimize
+    from repro.sim.validate import validate_schedule
+
+    case = generate_case(
+        args.processes, args.nodes, args.k, mu=args.mu, seed=args.seed
+    )
+    config = budget_for(args.processes)
+    result = optimize(
+        case.application, case.architecture, case.faults, "MXR", config
+    )
+    print(
+        f"optimized {args.processes}p/{args.nodes}n k={args.k}: "
+        f"schedule length {result.makespan:.1f} ms"
+    )
+    report = validate_schedule(result.schedule, samples=args.samples)
+    print(f"fault injection: {report.summary()}")
+    for violation in report.violations[:10]:
+        print(f"  !! {violation}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

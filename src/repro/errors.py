@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised by this package derive from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing modelling mistakes from scheduling failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class ModelError(ReproError):
+    """An application, architecture or policy model is ill-formed."""
+
+
+class ConfigurationError(ReproError):
+    """A bus/optimization configuration is inconsistent."""
+
+
+class SchedulingError(ReproError):
+    """The list scheduler could not produce a schedule."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class FaultToleranceViolation(ReproError):
+    """A synthesized schedule failed validation under fault injection."""

@@ -1,0 +1,73 @@
+"""Figure 10: quality of MXR versus MX, MR and SFX (paper §6).
+
+For every application size the figure reports the average percentage
+deviation of each single-policy/straightforward strategy from MXR::
+
+    deviation(V) = 100 * (δ_V − δ_MXR) / δ_MXR
+
+The paper's qualitative findings this reproduces: MR is by far the worst
+(worse than even the straightforward SFX), SFX is much worse than MXR
+(mapping must be fault-tolerance aware), and MX trails MXR by a margin that
+peaks around mid-size applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.experiments.runner import run_variants
+from repro.gen.suite import TABLE1A_DIMENSIONS, generate_case
+
+
+@dataclass(frozen=True)
+class Figure10Row:
+    """Average % deviation from MXR for one application size."""
+
+    n_processes: int
+    n_cases: int
+    mx: float
+    mr: float
+    sfx: float
+
+    def series(self) -> dict[str, float]:
+        return {"MX": self.mx, "MR": self.mr, "SFX": self.sfx}
+
+
+def figure10(
+    seeds: Sequence[int] = (0, 1, 2),
+    dimensions: Sequence[tuple[int, int, int]] = TABLE1A_DIMENSIONS,
+    mu: float = 5.0,
+    time_scale: float = 1.0,
+    progress: Callable[[str], None] | None = None,
+) -> list[Figure10Row]:
+    """Regenerate the Figure 10 series."""
+    rows: list[Figure10Row] = []
+    for n_processes, n_nodes, k in dimensions:
+        deviations: dict[str, list[float]] = {"MX": [], "MR": [], "SFX": []}
+        for seed in seeds:
+            case = generate_case(n_processes, n_nodes, k, mu=mu, seed=seed)
+            runs = run_variants(
+                case, ("MXR", "MX", "MR", "SFX"), time_scale=time_scale
+            )
+            mxr = runs["MXR"].makespan
+            for variant in ("MX", "MR", "SFX"):
+                deviation = 100.0 * (runs[variant].makespan - mxr) / mxr
+                deviations[variant].append(deviation)
+            if progress is not None:
+                progress(
+                    f"figure10 {n_processes}p seed {seed}: "
+                    + " ".join(
+                        f"{v}={deviations[v][-1]:.1f}%" for v in ("MX", "MR", "SFX")
+                    )
+                )
+        rows.append(
+            Figure10Row(
+                n_processes=n_processes,
+                n_cases=len(seeds),
+                mx=sum(deviations["MX"]) / len(seeds),
+                mr=sum(deviations["MR"]) / len(seeds),
+                sfx=sum(deviations["SFX"]) / len(seeds),
+            )
+        )
+    return rows

@@ -1,0 +1,48 @@
+"""Plain-text rendering of experiment results, mirroring the paper's layout."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.cruise import CruiseResult
+from repro.experiments.figure10 import Figure10Row
+from repro.experiments.table1 import Table1Row
+
+
+def format_table1(rows: Sequence[Table1Row], title: str) -> str:
+    """Render one Table 1 block (max/avg/min % overhead)."""
+    lines = [title, f"{'dimension':<14} {'%max':>8} {'%avg':>8} {'%min':>8}  (n)"]
+    for row in rows:
+        lines.append(
+            f"{row.label:<14} {row.max_overhead:8.2f} {row.avg_overhead:8.2f} "
+            f"{row.min_overhead:8.2f}  ({row.n_cases})"
+        )
+    return "\n".join(lines)
+
+
+def format_figure10(rows: Sequence[Figure10Row]) -> str:
+    """Render the Figure 10 series (avg % deviation from MXR)."""
+    lines = [
+        "Figure 10: average % deviation from MXR",
+        f"{'processes':<10} {'MX':>8} {'MR':>8} {'SFX':>8}  (n)",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.n_processes:<10} {row.mx:8.2f} {row.mr:8.2f} {row.sfx:8.2f}"
+            f"  ({row.n_cases})"
+        )
+    return "\n".join(lines)
+
+
+def format_cruise(result: CruiseResult) -> str:
+    """Render the CC experiment verdicts."""
+    lines = [
+        f"Cruise controller (deadline {result.deadline:.0f} ms, k=2, mu=2 ms)",
+        f"{'variant':<8} {'delay [ms]':>12}  verdict",
+    ]
+    for variant, makespan in result.makespans.items():
+        verdict = "meets deadline" if result.meets_deadline(variant) else "MISSED"
+        lines.append(f"{variant:<8} {makespan:12.1f}  {verdict}")
+    if "NFT" in result.makespans and "MXR" in result.makespans:
+        lines.append(f"MXR overhead vs NFT: {result.overhead_pct('MXR'):.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Shared experiment machinery: per-size budgets and variant sweeps.
+
+The paper derived "the shortest schedule within an imposed time limit: 10
+minutes for 20 processes, 20 for 40, 1 hour for 60, 2 hours and 20 min. for
+80 and 5 hours and 30 min. for 100 processes" on 2005 hardware.  This
+reproduction scales the budget with application size in the same spirit but
+at laptop scale; ``time_scale`` multiplies every limit (use ``--full`` /
+``time_scale >= 10`` to approach paper-quality search).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.gen.suite import GeneratedCase
+from repro.opt.strategy import OptimizationConfig, OptimizationResult, optimize
+
+#: Seconds of search per variant, keyed by application size (paper: minutes
+#: to hours; scaled down ~100x for laptop runs).
+DEFAULT_TIME_LIMITS: dict[int, float] = {20: 4.0, 40: 10.0, 60: 18.0, 80: 30.0, 100: 45.0}
+
+
+def budget_for(n_processes: int, time_scale: float = 1.0) -> OptimizationConfig:
+    """Optimization budget for one application of ``n_processes`` processes."""
+    limit = None
+    for size in sorted(DEFAULT_TIME_LIMITS):
+        if n_processes <= size:
+            limit = DEFAULT_TIME_LIMITS[size]
+            break
+    if limit is None:
+        limit = DEFAULT_TIME_LIMITS[100] * (n_processes / 100.0)
+    return OptimizationConfig(
+        minimize=True,
+        rounds=3,
+        greedy_max_iterations=40,
+        tabu_max_iterations=30,
+        time_limit_s=limit * time_scale,
+    )
+
+
+@dataclass(frozen=True)
+class VariantRun:
+    """Outcome of one (case, variant) optimization."""
+
+    variant: str
+    makespan: float
+    schedulable: bool
+    seconds: float
+    evaluations: int
+
+    def overhead_vs(self, reference: "VariantRun") -> float:
+        """Percent overhead of this run versus ``reference`` (usually NFT)."""
+        return 100.0 * (self.makespan - reference.makespan) / reference.makespan
+
+
+def run_variants(
+    case: GeneratedCase,
+    variants: tuple[str, ...] = ("NFT", "MXR"),
+    time_scale: float = 1.0,
+    config: OptimizationConfig | None = None,
+) -> dict[str, VariantRun]:
+    """Optimize ``case`` under every requested variant."""
+    runs: dict[str, VariantRun] = {}
+    for variant in variants:
+        cfg = config or budget_for(case.n_processes, time_scale)
+        started = time.monotonic()
+        result: OptimizationResult = optimize(
+            case.application, case.architecture, case.faults, variant, cfg
+        )
+        runs[variant] = VariantRun(
+            variant=variant,
+            makespan=result.makespan,
+            schedulable=result.is_schedulable,
+            seconds=time.monotonic() - started,
+            evaluations=result.evaluations,
+        )
+    return runs

@@ -1,0 +1,130 @@
+"""Table 1: fault-tolerance overheads of MXR versus NFT (paper §6).
+
+Three sweeps share one measurement: the percent overhead
+``100 * (δ_MXR − δ_NFT) / δ_NFT`` aggregated as max/avg/min over the random
+applications of one dimension.
+
+* Table 1a — application size sweep (20..100 processes on 2..6 nodes,
+  k = 3..7, µ = 5 ms);
+* Table 1b — fault count sweep (60 processes, 4 nodes, k ∈ {2,4,6,8,10});
+* Table 1c — fault duration sweep (20 processes, 2 nodes, k = 3,
+  µ ∈ {1,5,10,15,20} ms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.gen.suite import TABLE1A_DIMENSIONS, generate_case
+from repro.experiments.runner import budget_for, run_variants
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One aggregated row: max/avg/min overhead (in %) of MXR over NFT."""
+
+    label: str
+    n_cases: int
+    max_overhead: float
+    avg_overhead: float
+    min_overhead: float
+
+    @classmethod
+    def from_overheads(cls, label: str, overheads: Sequence[float]) -> "Table1Row":
+        if not overheads:
+            raise ValueError(f"row {label!r} has no measurements")
+        return cls(
+            label=label,
+            n_cases=len(overheads),
+            max_overhead=max(overheads),
+            avg_overhead=sum(overheads) / len(overheads),
+            min_overhead=min(overheads),
+        )
+
+
+def table1a(
+    seeds: Sequence[int] = (0, 1, 2),
+    dimensions: Sequence[tuple[int, int, int]] = TABLE1A_DIMENSIONS,
+    mu: float = 5.0,
+    time_scale: float = 1.0,
+    progress: Callable[[str], None] | None = None,
+) -> list[Table1Row]:
+    """Overhead versus application size (paper Table 1a)."""
+    rows: list[Table1Row] = []
+    for n_processes, n_nodes, k in dimensions:
+        overheads: list[float] = []
+        for seed in seeds:
+            case = generate_case(n_processes, n_nodes, k, mu=mu, seed=seed)
+            runs = run_variants(case, ("NFT", "MXR"), time_scale=time_scale)
+            overheads.append(runs["MXR"].overhead_vs(runs["NFT"]))
+            if progress is not None:
+                progress(
+                    f"table1a {n_processes}p seed {seed}: "
+                    f"overhead {overheads[-1]:.1f}%"
+                )
+        rows.append(Table1Row.from_overheads(f"{n_processes} procs", overheads))
+    return rows
+
+
+def table1b(
+    seeds: Sequence[int] = (0, 1, 2),
+    fault_counts: Sequence[int] = (2, 4, 6, 8, 10),
+    n_processes: int = 60,
+    n_nodes: int = 4,
+    mu: float = 5.0,
+    time_scale: float = 1.0,
+    progress: Callable[[str], None] | None = None,
+) -> list[Table1Row]:
+    """Overhead versus number of faults k (paper Table 1b).
+
+    NFT does not depend on k, so its schedule is derived once per seed.
+    """
+    reference: dict[int, float] = {}
+    for seed in seeds:
+        case = generate_case(n_processes, n_nodes, k=1, mu=mu, seed=seed)
+        runs = run_variants(case, ("NFT",), time_scale=time_scale)
+        reference[seed] = runs["NFT"].makespan
+
+    rows: list[Table1Row] = []
+    for k in fault_counts:
+        overheads: list[float] = []
+        for seed in seeds:
+            case = generate_case(n_processes, n_nodes, k=k, mu=mu, seed=seed)
+            runs = run_variants(case, ("MXR",), time_scale=time_scale)
+            overhead = 100.0 * (runs["MXR"].makespan - reference[seed]) / reference[seed]
+            overheads.append(overhead)
+            if progress is not None:
+                progress(f"table1b k={k} seed {seed}: overhead {overhead:.1f}%")
+        rows.append(Table1Row.from_overheads(f"k = {k}", overheads))
+    return rows
+
+
+def table1c(
+    seeds: Sequence[int] = (0, 1, 2),
+    fault_durations: Sequence[float] = (1.0, 5.0, 10.0, 15.0, 20.0),
+    n_processes: int = 20,
+    n_nodes: int = 2,
+    k: int = 3,
+    time_scale: float = 1.0,
+    progress: Callable[[str], None] | None = None,
+) -> list[Table1Row]:
+    """Overhead versus fault duration µ (paper Table 1c)."""
+    reference: dict[int, float] = {}
+    for seed in seeds:
+        case = generate_case(n_processes, n_nodes, k=k, mu=5.0, seed=seed)
+        runs = run_variants(case, ("NFT",), time_scale=time_scale)
+        reference[seed] = runs["NFT"].makespan
+
+    rows: list[Table1Row] = []
+    for mu in fault_durations:
+        overheads: list[float] = []
+        for seed in seeds:
+            case = generate_case(n_processes, n_nodes, k=k, mu=mu, seed=seed)
+            runs = run_variants(case, ("MXR",), time_scale=time_scale)
+            overhead = 100.0 * (runs["MXR"].makespan - reference[seed]) / reference[seed]
+            overheads.append(overhead)
+            if progress is not None:
+                progress(f"table1c mu={mu} seed {seed}: overhead {overhead:.1f}%")
+        rows.append(Table1Row.from_overheads(f"mu = {mu:g} ms", overheads))
+    return rows

@@ -1,0 +1,24 @@
+"""Synthetic workload generation reproducing the paper's evaluation setup (§6)."""
+
+from repro.gen.chains import chain_groups_structure
+from repro.gen.params import assign_message_sizes, assign_wcets
+from repro.gen.random_dag import random_structure
+from repro.gen.suite import (
+    TABLE1A_DIMENSIONS,
+    GeneratedCase,
+    generate_case,
+    paper_suite,
+)
+from repro.gen.trees import tree_structure
+
+__all__ = [
+    "GeneratedCase",
+    "TABLE1A_DIMENSIONS",
+    "assign_message_sizes",
+    "assign_wcets",
+    "chain_groups_structure",
+    "generate_case",
+    "paper_suite",
+    "random_structure",
+    "tree_structure",
+]

@@ -1,0 +1,45 @@
+"""Groups-of-chains task graphs (paper §6: "groups of chains")."""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ModelError
+
+
+def chain_groups_structure(
+    n_processes: int,
+    rng: random.Random,
+    chain_length_range: tuple[int, int] = (3, 7),
+) -> list[tuple[int, int]]:
+    """Edges of several parallel chains forked from a source process.
+
+    Process 0 acts as the group source; chains of random length hang off it
+    and the last chain simply consumes whatever process budget remains.
+    Roughly half of the chain tails are joined into a common sink, giving
+    the fork/join patterns typical of signal-processing applications.
+    """
+    if n_processes <= 0:
+        raise ModelError("need at least one process")
+    low, high = chain_length_range
+    if not (1 <= low <= high):
+        raise ModelError("invalid chain length range")
+
+    edges: list[tuple[int, int]] = []
+    tails: list[int] = []
+    next_index = 1
+    while next_index < n_processes:
+        length = min(rng.randint(low, high), n_processes - next_index)
+        previous = 0
+        for _ in range(length):
+            edges.append((previous, next_index))
+            previous = next_index
+            next_index += 1
+        tails.append(previous)
+
+    if len(tails) >= 3 and n_processes > 3:
+        sink = tails[-1]
+        joined = [t for t in tails[:-1] if rng.random() < 0.5 and t != sink]
+        for tail in joined:
+            edges.append((tail, sink))
+    return sorted(set(edges))

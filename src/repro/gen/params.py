@@ -1,0 +1,58 @@
+"""Random execution times and message sizes (paper §6).
+
+"Execution times and message lengths were assigned randomly using both
+uniform and exponential distribution within the 10 to 100 ms, and 1 to 4
+bytes ranges, respectively."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.errors import ModelError
+
+WCET_RANGE_MS = (10.0, 100.0)
+MESSAGE_SIZE_RANGE = (1, 4)
+
+
+def _draw(rng: random.Random, distribution: str, low: float, high: float) -> float:
+    if distribution == "uniform":
+        return rng.uniform(low, high)
+    if distribution == "exponential":
+        # Mean one third of the span above the minimum, clipped into range —
+        # most processes are short, a few are close to the maximum.
+        value = low + rng.expovariate(3.0 / (high - low))
+        return min(value, high)
+    raise ModelError(f"unknown distribution {distribution!r}")
+
+
+def assign_wcets(
+    n_processes: int,
+    node_names: Sequence[str],
+    rng: random.Random,
+    distribution: str = "uniform",
+    wcet_range: tuple[float, float] = WCET_RANGE_MS,
+) -> list[dict[str, float]]:
+    """Per-process WCET tables ``C_Pi^Nk`` drawn per (process, node) pair."""
+    low, high = wcet_range
+    if not (0 < low <= high):
+        raise ModelError("invalid WCET range")
+    tables: list[dict[str, float]] = []
+    for _ in range(n_processes):
+        tables.append(
+            {node: round(_draw(rng, distribution, low, high), 2) for node in node_names}
+        )
+    return tables
+
+
+def assign_message_sizes(
+    edges: Iterable[tuple[int, int]],
+    rng: random.Random,
+    size_range: tuple[int, int] = MESSAGE_SIZE_RANGE,
+) -> dict[tuple[int, int], int]:
+    """One size (bytes) per edge, uniform in ``size_range``."""
+    low, high = size_range
+    if not (1 <= low <= high):
+        raise ModelError("invalid message size range")
+    return {edge: rng.randint(low, high) for edge in edges}

@@ -1,0 +1,52 @@
+"""Random-structure task graphs (paper §6: "graphs with random structure").
+
+The generator uses the classic layer-by-layer method: every process is put
+on a random layer; each non-source process receives at least one predecessor
+from an earlier layer, and additional forward edges are added with a fixed
+probability.  The result is a connected-enough DAG whose depth/width ratio
+is controlled by ``layers_per_process``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ModelError
+
+
+def random_structure(
+    n_processes: int,
+    rng: random.Random,
+    extra_edge_probability: float = 0.08,
+    layers_per_process: float = 0.25,
+) -> list[tuple[int, int]]:
+    """Edges (as index pairs ``src < dst``) of a random DAG structure."""
+    if n_processes <= 0:
+        raise ModelError("need at least one process")
+    if n_processes == 1:
+        return []
+    n_layers = max(2, round(n_processes * layers_per_process))
+    layers = [0] + [rng.randrange(n_layers) for _ in range(n_processes - 1)]
+    # Guarantee at least one process on the first layer (index 0 is on it).
+    order = sorted(range(n_processes), key=lambda i: (layers[i], i))
+    layer_of = {index: layers[index] for index in range(n_processes)}
+
+    edges: set[tuple[int, int]] = set()
+    for position, index in enumerate(order):
+        if layer_of[index] == 0:
+            continue
+        earlier = [j for j in order[:position] if layer_of[j] < layer_of[index]]
+        if not earlier:
+            earlier = order[:position]
+        parent = rng.choice(earlier)
+        edges.add((parent, index))
+
+    for a_position, a in enumerate(order):
+        for b in order[a_position + 1 :]:
+            if layer_of[a] >= layer_of[b]:
+                continue
+            if (a, b) in edges:
+                continue
+            if rng.random() < extra_edge_probability:
+                edges.add((a, b))
+    return sorted(edges)

@@ -1,0 +1,129 @@
+"""The paper's experimental suite (§6).
+
+"For the evaluation of our algorithms we used applications of 20, 40, 60,
+80, and 100 processes (all unmapped and with no fault-tolerance policy
+assigned) implemented on architectures consisting of 2, 3, 4, 5, and 6
+nodes, respectively.  We have varied the number of faults depending on the
+architecture size, considering 3, 4, 5, 6, and 7 faults ... The duration µ
+of a fault has been set to 5 ms.  Fifteen examples were randomly generated
+for each application dimension ... We generated both graphs with random
+structure and graphs based on more regular structures like trees and groups
+of chains."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import ModelError
+from repro.gen.chains import chain_groups_structure
+from repro.gen.params import assign_message_sizes, assign_wcets
+from repro.gen.random_dag import random_structure
+from repro.gen.trees import tree_structure
+from repro.model.application import Application, Message, Process, ProcessGraph
+from repro.model.architecture import Architecture, homogeneous_architecture
+from repro.model.fault import FaultModel
+
+#: (processes, nodes, faults k) rows of Table 1a.
+TABLE1A_DIMENSIONS: tuple[tuple[int, int, int], ...] = (
+    (20, 2, 3),
+    (40, 3, 4),
+    (60, 4, 5),
+    (80, 5, 6),
+    (100, 6, 7),
+)
+
+STRUCTURES = ("random", "tree", "chains")
+DISTRIBUTIONS = ("uniform", "exponential")
+
+
+@dataclass(frozen=True)
+class GeneratedCase:
+    """One generated benchmark application with its platform and fault model."""
+
+    application: Application
+    architecture: Architecture
+    faults: FaultModel
+    seed: int
+    structure: str
+    distribution: str
+
+    @property
+    def n_processes(self) -> int:
+        return len(self.application.graphs[0])
+
+
+def build_structure(
+    kind: str, n_processes: int, rng: random.Random
+) -> list[tuple[int, int]]:
+    if kind == "random":
+        return random_structure(n_processes, rng)
+    if kind == "tree":
+        return tree_structure(n_processes, rng)
+    if kind == "chains":
+        return chain_groups_structure(n_processes, rng)
+    raise ModelError(f"unknown structure kind {kind!r}")
+
+
+def generate_case(
+    n_processes: int,
+    n_nodes: int,
+    k: int,
+    mu: float = 5.0,
+    seed: int = 0,
+    structure: str | None = None,
+    distribution: str | None = None,
+    deadline: float | None = None,
+) -> GeneratedCase:
+    """Generate one random application exactly in the paper's setup.
+
+    ``structure``/``distribution`` default to a deterministic mix over the
+    seed (the paper used both kinds of graphs and both distributions).
+    """
+    # The fault model (k, mu) must not influence the generated workload so
+    # that sweeps over k (Table 1b) and mu (Table 1c) compare like with like.
+    rng = random.Random(1_000_003 * n_processes + 10_007 * n_nodes + seed)
+    structure = structure or STRUCTURES[seed % len(STRUCTURES)]
+    distribution = distribution or DISTRIBUTIONS[seed % len(DISTRIBUTIONS)]
+
+    architecture = homogeneous_architecture(n_nodes)
+    edges = build_structure(structure, n_processes, rng)
+    wcets = assign_wcets(n_processes, architecture.node_names, rng, distribution)
+    sizes = assign_message_sizes(edges, rng)
+
+    graph = ProcessGraph(
+        name=f"app_{n_processes}p_{seed}", deadline=deadline
+    )
+    for index in range(n_processes):
+        graph.add_process(Process(name=f"P{index + 1}", wcet=wcets[index]))
+    for (src, dst) in edges:
+        graph.add_message(
+            Message(
+                name=f"m{src + 1}_{dst + 1}",
+                src=f"P{src + 1}",
+                dst=f"P{dst + 1}",
+                size=sizes[(src, dst)],
+            )
+        )
+    application = Application([graph], name=graph.name)
+    return GeneratedCase(
+        application=application,
+        architecture=architecture,
+        faults=FaultModel(k=k, mu=mu),
+        seed=seed,
+        structure=structure,
+        distribution=distribution,
+    )
+
+
+def paper_suite(
+    dimensions: Sequence[tuple[int, int, int]] = TABLE1A_DIMENSIONS,
+    seeds: Sequence[int] = tuple(range(15)),
+    mu: float = 5.0,
+) -> Iterator[GeneratedCase]:
+    """All cases of the Table 1a sweep (75 applications at paper scale)."""
+    for n_processes, n_nodes, k in dimensions:
+        for seed in seeds:
+            yield generate_case(n_processes, n_nodes, k, mu=mu, seed=seed)

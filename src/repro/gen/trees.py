@@ -1,0 +1,34 @@
+"""Tree-shaped task graphs (paper §6: "more regular structures like trees")."""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ModelError
+
+
+def tree_structure(
+    n_processes: int,
+    rng: random.Random,
+    max_fanout: int = 4,
+) -> list[tuple[int, int]]:
+    """Edges of a random out-tree rooted at process 0.
+
+    Every process except the root picks a parent uniformly among the already
+    created processes that still have fan-out budget, so trees vary from
+    chain-like (fanout ~1) to bushy (fanout up to ``max_fanout``).
+    """
+    if n_processes <= 0:
+        raise ModelError("need at least one process")
+    if max_fanout < 1:
+        raise ModelError("max_fanout must be >= 1")
+    edges: list[tuple[int, int]] = []
+    children = [0] * n_processes
+    for index in range(1, n_processes):
+        candidates = [j for j in range(index) if children[j] < max_fanout]
+        if not candidates:
+            candidates = list(range(index))
+        parent = rng.choice(candidates)
+        children[parent] += 1
+        edges.append((parent, index))
+    return edges

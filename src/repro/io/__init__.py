@@ -1,0 +1,29 @@
+"""Serialization of models, implementations and schedules (JSON)."""
+
+from repro.io.json_codec import (
+    application_from_dict,
+    application_to_dict,
+    architecture_from_dict,
+    architecture_to_dict,
+    fault_model_from_dict,
+    fault_model_to_dict,
+    implementation_from_dict,
+    implementation_to_dict,
+    load_case,
+    save_case,
+    schedule_to_dict,
+)
+
+__all__ = [
+    "application_from_dict",
+    "application_to_dict",
+    "architecture_from_dict",
+    "architecture_to_dict",
+    "fault_model_from_dict",
+    "fault_model_to_dict",
+    "implementation_from_dict",
+    "implementation_to_dict",
+    "load_case",
+    "save_case",
+    "schedule_to_dict",
+]

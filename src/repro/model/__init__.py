@@ -1,0 +1,22 @@
+"""Application, architecture and fault models (paper sections 2 and 3)."""
+
+from repro.model.application import Application, Message, Process, ProcessGraph
+from repro.model.architecture import Architecture, Node
+from repro.model.fault import FaultModel
+from repro.model.mapping import ReplicaMapping
+from repro.model.merge import merge_application
+from repro.model.policy import Policy, PolicyAssignment
+
+__all__ = [
+    "Application",
+    "Architecture",
+    "FaultModel",
+    "Message",
+    "Node",
+    "Policy",
+    "PolicyAssignment",
+    "Process",
+    "ProcessGraph",
+    "ReplicaMapping",
+    "merge_application",
+]

@@ -1,0 +1,73 @@
+"""Hardware architecture model (paper §2.1).
+
+The architecture is a set of nodes sharing a broadcast TTP bus.  Every node
+consists of a CPU (which executes the static schedule table produced by
+``repro.schedule``) and a communication controller (which executes the MEDL
+produced by ``repro.ttp``).  Per-process WCETs are attached to processes, not
+nodes, because the paper specifies ``C_Pi^Nk`` tables per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+from repro.ttp.bus import BusConfig
+
+
+@dataclass(frozen=True)
+class Node:
+    """One computation node ``N_i`` (CPU + TTP communication controller)."""
+
+    name: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("node name must be a non-empty string")
+
+
+@dataclass
+class Architecture:
+    """A set of nodes and the TTP bus connecting them."""
+
+    nodes: list[Node]
+    bus: BusConfig | None = None
+    name: str = "architecture"
+    _index: dict[str, Node] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ModelError("architecture needs at least one node")
+        index: dict[str, Node] = {}
+        for node in self.nodes:
+            if node.name in index:
+                raise ModelError(f"duplicate node {node.name!r}")
+            index[node.name] = node
+        self._index = index
+        if self.bus is not None:
+            self.bus.validate_for(self.node_names)
+
+    @property
+    def node_names(self) -> tuple[str, ...]:
+        """Node names in declaration order (slot order by default)."""
+        return tuple(node.name for node in self.nodes)
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ModelError(f"unknown node {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def homogeneous_architecture(n_nodes: int, prefix: str = "N") -> Architecture:
+    """Build an ``n_nodes``-node architecture named ``N1..Nn`` (no bus yet)."""
+    if n_nodes <= 0:
+        raise ModelError("need at least one node")
+    return Architecture(nodes=[Node(f"{prefix}{i + 1}") for i in range(n_nodes)])

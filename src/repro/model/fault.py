@@ -1,0 +1,60 @@
+"""Transient fault model (paper §2.1).
+
+At most ``k`` transient faults occur anywhere in the system during one
+operation cycle of the application; several may hit the same node, and ``k``
+may exceed the number of nodes.  Each fault is confined to a single process
+execution and costs ``mu`` milliseconds from detection until the system is
+back to normal operation (after which a re-execution may start).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """The pair *(k, µ)* that drives every analysis in this library.
+
+    ``checkpoint_overhead`` (extension, see
+    :meth:`repro.model.policy.Policy.checkpointing`) is the time in ms spent
+    establishing one checkpoint; it inflates the fault-free WCET of a
+    checkpointed process by ``segments * checkpoint_overhead``.
+    """
+
+    k: int
+    mu: float = 0.0
+    checkpoint_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ModelError(f"fault count k must be >= 0, got {self.k}")
+        if self.mu < 0:
+            raise ModelError(f"fault duration mu must be >= 0, got {self.mu}")
+        if self.checkpoint_overhead < 0:
+            raise ModelError("checkpoint overhead must be >= 0")
+        if self.k == 0 and self.mu != 0:
+            # Harmless but almost certainly a configuration mistake.
+            raise ModelError("mu must be 0 when k is 0 (no faults to recover from)")
+
+    @property
+    def fault_free(self) -> bool:
+        """True when this model describes a non-fault-tolerant system."""
+        return self.k == 0
+
+    def recovery_time(self, wcet: float, reexecutions: int) -> float:
+        """Extra time ``reexecutions`` re-runs of a ``wcet`` process may cost.
+
+        One re-execution costs ``mu`` (detection + recovery) plus another run
+        of the process, as in Fig. 2a of the paper (C=30, k=2, µ=10 gives a
+        worst-case finish of 30 + 2*(30+10) = 110 ms).
+        """
+        if reexecutions < 0:
+            raise ModelError("reexecutions must be >= 0")
+        return reexecutions * (wcet + self.mu)
+
+
+NO_FAULTS = FaultModel(k=0, mu=0.0)
+"""Shared constant for non-fault-tolerant (NFT) scheduling."""

@@ -1,0 +1,236 @@
+"""FT-extended execution graph (paper §3, functions ``F_R``/``F_X``).
+
+Given the merged application graph, a policy assignment and a replica
+mapping, this module expands every process into its replica *instances* and
+every edge into per-replica message instances.  The result is the structure
+the list scheduler and the worst-case analysis operate on:
+
+* each :class:`Instance` is one replica of one process, carrying the number
+  of re-executions its recovery slack must cover;
+* each receiver instance owns one :class:`InputGroup` per original in-edge —
+  the group lists all sender replicas, because the receiver may start as
+  soon as the *first valid* message from the group arrives (§2.2);
+* a sender instance produces one broadcast bus message per original edge iff
+  at least one receiver replica lives on a different node (TTP is a
+  broadcast bus, so a single frame serves every remote reader).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.errors import ModelError
+from repro.model.application import Message, ProcessGraph
+from repro.model.fault import FaultModel
+from repro.model.mapping import ReplicaMapping
+from repro.model.policy import PolicyAssignment
+
+
+def instance_id(process: str, replica: int) -> str:
+    """Identifier of replica ``replica`` (0-based) of ``process``."""
+    return f"{process}:r{replica}"
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One replica of one process, bound to a node."""
+
+    id: str
+    process: str
+    replica: int
+    node: str
+    wcet: float
+    reexecutions: int
+    release: float = 0.0
+    deadline: float | None = None
+    checkpoints: int = 0  # extension: segment-level recovery
+
+    @property
+    def kill_cost(self) -> int:
+        """Faults an adversary must spend to terminally kill this replica."""
+        return 1 + self.reexecutions
+
+    @property
+    def recovery_unit(self) -> float:
+        """Time one re-execution re-runs: the whole WCET, or one segment."""
+        if self.checkpoints > 0:
+            return self.wcet / self.checkpoints
+        return self.wcet
+
+
+@dataclass(frozen=True)
+class InputGroup:
+    """All sender replicas feeding one receiver instance via one message."""
+
+    message: Message
+    sources: tuple[str, ...]  # sender instance ids, replica order
+
+
+@dataclass(frozen=True)
+class BusMessage:
+    """A broadcast frame payload: one sender instance, one original message.
+
+    ``kind`` selects the transmission discipline (paper §4.1/§5.1):
+
+    * ``"masked"`` — the sender is the only replica; recovery must stay
+      transparent, so the slot lies after the sender's worst-case finish
+      (Fig. 4a: m2 departs only after C1 + µ);
+    * ``"fast"`` — the sender is one of several replicas; the slot follows
+      the fault-free finish (Fig. 4b: replica outputs are not delayed), and
+      receivers account for the scenarios that invalidate the frame;
+    * ``"guaranteed"`` — second frame of a *re-executed* replica, scheduled
+      after its worst-case finish so the combined policy of Fig. 2c still
+      delivers even when the fast frame was missed.
+    """
+
+    sender: str  # instance id
+    message: Message
+    kind: str = "masked"
+
+    @property
+    def id(self) -> str:
+        suffix = "#g" if self.kind == "guaranteed" else ""
+        return f"{self.message.name}[{self.sender}]{suffix}"
+
+
+class FTGraph:
+    """The expanded instance graph plus group/bus metadata."""
+
+    def __init__(self) -> None:
+        self.instances: dict[str, Instance] = {}
+        self.group_of: dict[str, tuple[str, ...]] = {}  # process -> instance ids
+        self.inputs: dict[str, tuple[InputGroup, ...]] = {}
+        self.bus_messages: dict[str, BusMessage] = {}  # keyed by BusMessage.id
+        self._out_bus: dict[str, list[BusMessage]] = {}  # sender instance -> frames
+        self._digraph = nx.DiGraph()
+
+    # -- queries -----------------------------------------------------------
+
+    def instance(self, iid: str) -> Instance:
+        try:
+            return self.instances[iid]
+        except KeyError:
+            raise ModelError(f"unknown instance {iid!r}") from None
+
+    def replicas(self, process: str) -> tuple[str, ...]:
+        try:
+            return self.group_of[process]
+        except KeyError:
+            raise ModelError(f"unknown process {process!r}") from None
+
+    def inputs_of(self, iid: str) -> tuple[InputGroup, ...]:
+        return self.inputs.get(iid, ())
+
+    def outgoing_bus_messages(self, iid: str) -> list[BusMessage]:
+        """Bus frames instance ``iid`` must transmit (possibly empty)."""
+        return list(self._out_bus.get(iid, ()))
+
+    def topological_order(self) -> list[str]:
+        """Deterministic topological order over instance ids."""
+        return list(nx.lexicographical_topological_sort(self._digraph))
+
+    def to_networkx(self) -> nx.DiGraph:
+        return self._digraph.copy()
+
+    def predecessors(self, iid: str) -> list[str]:
+        return sorted(self._digraph.predecessors(iid))
+
+    def successors(self, iid: str) -> list[str]:
+        return sorted(self._digraph.successors(iid))
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def __iter__(self):
+        return iter(self.instances)
+
+
+def build_ft_graph(
+    graph: ProcessGraph,
+    policies: PolicyAssignment,
+    mapping: ReplicaMapping,
+    faults: FaultModel,
+) -> FTGraph:
+    """Expand ``graph`` according to ``policies`` and ``mapping``.
+
+    Raises :class:`ModelError` if a policy does not tolerate ``faults.k``
+    faults or the mapping disagrees with the policy's replica count.
+    """
+    ft = FTGraph()
+    for name, process in graph.processes.items():
+        policy = policies[name]
+        policy.validate_for(faults.k)
+        nodes = mapping[name]
+        if len(nodes) != policy.n_replicas:
+            raise ModelError(
+                f"process {name!r}: {len(nodes)} mapped replicas but policy "
+                f"has {policy.n_replicas}"
+            )
+        ids = []
+        for replica, node in enumerate(nodes):
+            iid = instance_id(name, replica)
+            wcet = process.wcet_on(node)
+            if policy.checkpoints > 0:
+                wcet += policy.checkpoints * faults.checkpoint_overhead
+            inst = Instance(
+                id=iid,
+                process=name,
+                replica=replica,
+                node=node,
+                wcet=wcet,
+                reexecutions=policy.reexecutions[replica],
+                release=process.release,
+                deadline=process.deadline,
+                checkpoints=policy.checkpoints,
+            )
+            ft.instances[iid] = inst
+            ft._digraph.add_node(iid)
+            ids.append(iid)
+        ft.group_of[name] = tuple(ids)
+
+    for name in graph:
+        receivers = ft.group_of[name]
+        groups: list[InputGroup] = []
+        for message in graph.in_messages(name):
+            sources = ft.group_of[message.src]
+            groups.append(InputGroup(message=message, sources=sources))
+            for src_iid in sources:
+                for dst_iid in receivers:
+                    ft._digraph.add_edge(src_iid, dst_iid)
+        for dst_iid in receivers:
+            ft.inputs[dst_iid] = tuple(groups)
+
+    _collect_bus_messages(graph, ft)
+    return ft
+
+
+def _collect_bus_messages(graph: ProcessGraph, ft: FTGraph) -> None:
+    """Create the broadcast frames every sender instance must transmit.
+
+    A frame is needed whenever at least one receiver replica lives on a
+    different node.  Sole replicas send one transparently-masked frame;
+    replicas of a replicated process send a fast frame, plus a guaranteed
+    frame when they carry re-executions (see :class:`BusMessage`).
+    """
+    for name in graph:
+        group = ft.group_of[name]
+        for message in graph.out_messages(name):
+            receiver_nodes = {
+                ft.instance(iid).node for iid in ft.group_of[message.dst]
+            }
+            for src_iid in group:
+                sender = ft.instance(src_iid)
+                if not receiver_nodes - {sender.node}:
+                    continue
+                if len(group) == 1:
+                    kinds = ("masked",)
+                elif sender.reexecutions > 0:
+                    kinds = ("fast", "guaranteed")
+                else:
+                    kinds = ("fast",)
+                for kind in kinds:
+                    bus_msg = BusMessage(sender=src_iid, message=message, kind=kind)
+                    ft.bus_messages[bus_msg.id] = bus_msg
+                    ft._out_bus.setdefault(src_iid, []).append(bus_msg)

@@ -1,0 +1,107 @@
+"""Mapping of processes (and their replicas) to architecture nodes (paper §4).
+
+The paper's mapping function is ``M: V ∪ V_R -> N``: every replica of every
+process gets a node.  We key the mapping by process name and store one node
+per replica, index 0 being the *primary* replica.  Replicas are placed on
+distinct nodes whenever possible, but co-location is legal because ``k`` may
+exceed the number of nodes (§4, footnote 1) — co-located replicas are simply
+serialized in that node's schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.errors import ModelError
+from repro.model.policy import PolicyAssignment
+
+
+class ReplicaMapping:
+    """Maps each process to the tuple of nodes hosting its replicas."""
+
+    def __init__(self, assignment: Mapping[str, tuple[str, ...]] | None = None) -> None:
+        self._nodes: dict[str, tuple[str, ...]] = {
+            p: tuple(nodes) for p, nodes in (assignment or {}).items()
+        }
+
+    # -- mutation ----------------------------------------------------------
+
+    def assign(self, process: str, nodes: tuple[str, ...] | list[str] | str) -> None:
+        """Assign replica nodes; a bare string means a single primary replica."""
+        if isinstance(nodes, str):
+            nodes = (nodes,)
+        nodes = tuple(nodes)
+        if not nodes:
+            raise ModelError(f"process {process!r} mapped to an empty node tuple")
+        self._nodes[process] = nodes
+
+    # -- queries -----------------------------------------------------------
+
+    def __getitem__(self, process: str) -> tuple[str, ...]:
+        try:
+            return self._nodes[process]
+        except KeyError:
+            raise ModelError(f"process {process!r} is not mapped") from None
+
+    def __contains__(self, process: str) -> bool:
+        return process in self._nodes
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def items(self) -> Iterator[tuple[str, tuple[str, ...]]]:
+        return iter(self._nodes.items())
+
+    def primary(self, process: str) -> str:
+        """Node of the primary replica (replica 0)."""
+        return self[process][0]
+
+    def replica_node(self, process: str, replica: int) -> str:
+        nodes = self[process]
+        try:
+            return nodes[replica]
+        except IndexError:
+            raise ModelError(
+                f"process {process!r} has {len(nodes)} replicas, "
+                f"index {replica} out of range"
+            ) from None
+
+    def copy(self) -> "ReplicaMapping":
+        return ReplicaMapping(self._nodes)
+
+    def node_load(self, wcets: Mapping[str, Mapping[str, float]]) -> dict[str, float]:
+        """Total WCET placed on every node (used for balancing heuristics)."""
+        load: dict[str, float] = {}
+        for process, nodes in self._nodes.items():
+            for node in nodes:
+                load[node] = load.get(node, 0.0) + wcets[process][node]
+        return load
+
+    def validate_for(
+        self,
+        policies: PolicyAssignment,
+        allowed_nodes: Mapping[str, tuple[str, ...]],
+    ) -> None:
+        """Check replica counts match policies and nodes are legal targets."""
+        for process in policies:
+            nodes = self[process]
+            expected = policies[process].n_replicas
+            if len(nodes) != expected:
+                raise ModelError(
+                    f"process {process!r}: mapping has {len(nodes)} replica "
+                    f"nodes but policy expects {expected}"
+                )
+            legal = set(allowed_nodes[process])
+            for node in nodes:
+                if node not in legal:
+                    raise ModelError(
+                        f"process {process!r} replica mapped on illegal node "
+                        f"{node!r} (allowed: {sorted(legal)})"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{p}->{nodes}" for p, nodes in self._nodes.items())
+        return f"ReplicaMapping({inner})"

@@ -1,0 +1,185 @@
+"""Fault-tolerance policies (paper §2.2 and §4, Fig. 2).
+
+A policy for a process is the pair of the paper's functions ``F_R`` (how many
+active replicas) and ``F_X`` (how many re-executions each replica gets).  We
+represent it as ``n_replicas`` plus a per-replica re-execution vector.
+
+Validity rule
+-------------
+An adversary must spend ``1 + e_j`` faults to terminally kill replica ``j``
+(one for the original execution plus one per re-execution).  The process
+survives every scenario of at most ``k`` faults iff killing *all* replicas
+costs more than ``k`` faults::
+
+    n_replicas + sum(e_j)  >=  k + 1        (total executions >= k + 1)
+
+The canonical policies of Fig. 2 are:
+
+* re-execution only  (Fig. 2a): ``Policy.reexecution(k)``  -> r=1, e=(k,)
+* replication only   (Fig. 2b): ``Policy.replication(k)``  -> r=k+1, e=0...
+* re-executed replicas (Fig. 2c): ``Policy.combined(2, k=2)`` -> r=2, e=(1,0)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class Policy:
+    """Fault-tolerance policy of a single process.
+
+    ``checkpoints`` is an *extension* beyond the DATE 2005 paper (which
+    names checkpointing in §1 but does not evaluate it): with ``s > 0``
+    equidistant checkpoints, a re-execution only re-runs the failed segment
+    (``C/s`` instead of ``C``), at the price of a per-checkpoint overhead
+    (see :class:`repro.model.fault.FaultModel.checkpoint_overhead`).
+    """
+
+    n_replicas: int
+    reexecutions: tuple[int, ...]
+    checkpoints: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_replicas < 1:
+            raise ModelError("a process needs at least one replica (itself)")
+        if len(self.reexecutions) != self.n_replicas:
+            raise ModelError(
+                f"re-execution vector {self.reexecutions} does not match "
+                f"{self.n_replicas} replicas"
+            )
+        if any(e < 0 for e in self.reexecutions):
+            raise ModelError("re-execution counts must be >= 0")
+        if self.checkpoints < 0:
+            raise ModelError("checkpoint count must be >= 0")
+        if self.checkpoints == 1:
+            raise ModelError(
+                "one checkpoint is meaningless: use 0 (none) or >= 2 segments"
+            )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def reexecution(cls, k: int) -> "Policy":
+        """Pure time redundancy: one replica re-executed ``k`` times."""
+        return cls(n_replicas=1, reexecutions=(k,))
+
+    @classmethod
+    def replication(cls, k: int) -> "Policy":
+        """Pure space redundancy: ``k + 1`` replicas, no re-execution."""
+        return cls(n_replicas=k + 1, reexecutions=(0,) * (k + 1))
+
+    @classmethod
+    def combined(cls, n_replicas: int, k: int) -> "Policy":
+        """``n_replicas`` replicas sharing ``k + 1 - n_replicas`` re-executions.
+
+        Re-executions are distributed as evenly as possible with the extras
+        given to lower-index replicas, so ``combined(2, k=2)`` reproduces the
+        paper's Fig. 2c: replicas with re-execution vector ``(1, 0)``.
+        ``combined(1, k)`` equals :meth:`reexecution`; ``combined(k+1, k)``
+        equals :meth:`replication`.
+        """
+        if n_replicas < 1:
+            raise ModelError("n_replicas must be >= 1")
+        if n_replicas > k + 1:
+            raise ModelError(
+                f"{n_replicas} replicas exceed the k+1={k + 1} executions "
+                "needed; extra replicas would never be used"
+            )
+        spare = (k + 1) - n_replicas
+        base, extra = divmod(spare, n_replicas)
+        vector = tuple(base + (1 if j < extra else 0) for j in range(n_replicas))
+        return cls(n_replicas=n_replicas, reexecutions=vector)
+
+    @classmethod
+    def checkpointing(cls, k: int, segments: int) -> "Policy":
+        """Extension: one replica, ``k`` re-executions, segment recovery."""
+        return cls(n_replicas=1, reexecutions=(k,), checkpoints=segments)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def total_executions(self) -> int:
+        """Replicas plus all their re-executions."""
+        return self.n_replicas + sum(self.reexecutions)
+
+    @property
+    def is_pure_reexecution(self) -> bool:
+        return self.n_replicas == 1
+
+    @property
+    def is_pure_replication(self) -> bool:
+        return all(e == 0 for e in self.reexecutions) and self.n_replicas > 1
+
+    def kill_cost(self, replica: int) -> int:
+        """Faults an adversary must spend to terminally kill ``replica``."""
+        return 1 + self.reexecutions[replica]
+
+    def tolerates(self, k: int) -> bool:
+        """True iff every scenario of at most ``k`` faults is survived."""
+        return self.total_executions >= k + 1
+
+    def validate_for(self, k: int) -> None:
+        if not self.tolerates(k):
+            raise ModelError(
+                f"policy {self} provides {self.total_executions} executions "
+                f"but k={k} faults require at least {k + 1}"
+            )
+
+    def describe(self) -> str:
+        """Short human-readable form, e.g. ``XR(r=2,e=(1,0))``."""
+        suffix = f",s={self.checkpoints}" if self.checkpoints else ""
+        if self.is_pure_reexecution:
+            return f"X(e={self.reexecutions[0]}{suffix})"
+        if self.is_pure_replication:
+            return f"R(r={self.n_replicas}{suffix})"
+        return f"XR(r={self.n_replicas},e={self.reexecutions}{suffix})"
+
+
+class PolicyAssignment:
+    """The function ``F = <F_R, F_X>`` mapping every process to its policy."""
+
+    def __init__(self, policies: Mapping[str, Policy] | None = None) -> None:
+        self._policies: dict[str, Policy] = dict(policies or {})
+
+    def __getitem__(self, process: str) -> Policy:
+        try:
+            return self._policies[process]
+        except KeyError:
+            raise ModelError(f"no policy assigned to process {process!r}") from None
+
+    def __setitem__(self, process: str, policy: Policy) -> None:
+        self._policies[process] = policy
+
+    def __contains__(self, process: str) -> bool:
+        return process in self._policies
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._policies)
+
+    def __len__(self) -> int:
+        return len(self._policies)
+
+    def items(self) -> Iterator[tuple[str, Policy]]:
+        return iter(self._policies.items())
+
+    def copy(self) -> "PolicyAssignment":
+        return PolicyAssignment(self._policies)
+
+    def validate_for(self, k: int, processes: Iterator[str] | None = None) -> None:
+        """Check every (or the given) process tolerates ``k`` faults."""
+        names = list(processes) if processes is not None else list(self._policies)
+        for name in names:
+            self[name].validate_for(k)
+
+    @classmethod
+    def uniform(cls, processes: Iterator[str], policy: Policy) -> "PolicyAssignment":
+        """Assign the same ``policy`` to every process in ``processes``."""
+        return cls({name: policy for name in processes})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{p}:{pol.describe()}" for p, pol in self._policies.items())
+        return f"PolicyAssignment({inner})"

@@ -1,0 +1,28 @@
+"""Design optimization: mapping + fault-tolerance policy assignment (paper §5)."""
+
+from repro.opt.cost import Cost
+from repro.opt.evaluator import Evaluator
+from repro.opt.greedy import greedy_mpa
+from repro.opt.implementation import Implementation
+from repro.opt.initial import initial_bus_access, initial_mpa
+from repro.opt.strategy import (
+    OptimizationConfig,
+    OptimizationResult,
+    Variant,
+    optimize,
+)
+from repro.opt.tabu import tabu_search_mpa
+
+__all__ = [
+    "Cost",
+    "Evaluator",
+    "Implementation",
+    "OptimizationConfig",
+    "OptimizationResult",
+    "Variant",
+    "greedy_mpa",
+    "initial_bus_access",
+    "initial_mpa",
+    "optimize",
+    "tabu_search_mpa",
+]

@@ -1,0 +1,42 @@
+"""Cost function for candidate implementations (paper §5.2).
+
+An implementation is *schedulable* when every deadline is met in the worst
+fault scenario.  Unschedulable candidates are compared by their *degree of
+schedulability* (the summed deadline overshoot) so the search still receives
+gradient information; schedulable candidates are compared by schedule length
+δ so the optimizer keeps compressing the schedule (this is also the metric
+reported in Table 1, where applications carry no deadline at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Cost:
+    """Comparable quality of one candidate implementation."""
+
+    schedulable: bool
+    degree: float  # summed deadline overshoot; 0.0 when schedulable
+    makespan: float  # schedule length delta in ms
+
+    @property
+    def sort_key(self) -> tuple[int, float, float]:
+        """Total order: schedulable first, then degree, then makespan."""
+        return (0 if self.schedulable else 1, self.degree, self.makespan)
+
+    def is_better_than(self, other: "Cost") -> bool:
+        return self.sort_key < other.sort_key
+
+    def __str__(self) -> str:
+        if self.schedulable:
+            return f"schedulable, delta={self.makespan:.2f} ms"
+        return (
+            f"unschedulable, overshoot={self.degree:.2f} ms, "
+            f"delta={self.makespan:.2f} ms"
+        )
+
+
+WORST_COST = Cost(schedulable=False, degree=float("inf"), makespan=float("inf"))
+"""Sentinel that loses every comparison."""

@@ -1,0 +1,66 @@
+"""Candidate evaluation: list-schedule an implementation and price it.
+
+Tabu search revisits design points frequently, so costs are cached by the
+implementation's canonical signature.  Schedules themselves are *not* cached
+(they are large); :meth:`Evaluator.schedule` recomputes the one schedule the
+caller actually needs — typically the current solution, for critical-path
+extraction.
+"""
+
+from __future__ import annotations
+
+from repro.model.application import ProcessGraph
+from repro.model.fault import FaultModel
+from repro.opt.cost import Cost
+from repro.opt.implementation import Implementation
+from repro.schedule.list_scheduler import list_schedule
+from repro.schedule.table import SystemSchedule
+
+
+class Evaluator:
+    """Schedules candidate implementations of one merged graph."""
+
+    def __init__(
+        self,
+        merged: ProcessGraph,
+        faults: FaultModel,
+        cache: bool = True,
+    ) -> None:
+        self.merged = merged
+        self.faults = faults
+        self.evaluations = 0
+        self.cache_hits = 0
+        self._cache: dict[tuple, Cost] | None = {} if cache else None
+
+    def schedule(self, implementation: Implementation) -> SystemSchedule:
+        """Full schedule for ``implementation`` (never cached)."""
+        return list_schedule(
+            self.merged,
+            self.faults,
+            implementation.policies,
+            implementation.mapping,
+            implementation.bus,
+        )
+
+    def cost_of(self, schedule: SystemSchedule) -> Cost:
+        degree = schedule.degree_of_schedulability()
+        return Cost(
+            schedulable=degree == 0.0,
+            degree=degree,
+            makespan=schedule.makespan,
+        )
+
+    def evaluate(self, implementation: Implementation) -> Cost:
+        """Cost of ``implementation`` (cached by design signature)."""
+        signature = None
+        if self._cache is not None:
+            signature = implementation.signature()
+            cached = self._cache.get(signature)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        self.evaluations += 1
+        cost = self.cost_of(self.schedule(implementation))
+        if self._cache is not None and signature is not None:
+            self._cache[signature] = cost
+        return cost

@@ -1,0 +1,57 @@
+"""The system configuration ψ = <F, M, S> explored by the optimizer (paper §4).
+
+An :class:`Implementation` carries the decided parts of ψ — the policy
+assignment ``F`` and the mapping ``M`` plus the bus configuration — while the
+schedule table set ``S`` is derived deterministically from them by
+:func:`repro.schedule.list_schedule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.mapping import ReplicaMapping
+from repro.model.policy import PolicyAssignment
+from repro.ttp.bus import BusConfig
+
+
+@dataclass
+class Implementation:
+    """One point of the design space: policies + replica mapping + bus."""
+
+    policies: PolicyAssignment
+    mapping: ReplicaMapping
+    bus: BusConfig
+
+    def copy(self) -> "Implementation":
+        return Implementation(
+            policies=self.policies.copy(),
+            mapping=self.mapping.copy(),
+            bus=self.bus,
+        )
+
+    def signature(self) -> tuple:
+        """Canonical hashable identity (used for evaluation caching)."""
+        design = tuple(
+            (
+                process,
+                policy.n_replicas,
+                policy.reexecutions,
+                policy.checkpoints,
+                self.mapping[process],
+            )
+            for process, policy in sorted(self.policies.items())
+        )
+        return (design, self.bus.signature())
+
+    def with_move(
+        self,
+        process: str,
+        nodes: tuple[str, ...],
+        policy,
+    ) -> "Implementation":
+        """A copy in which ``process`` got new replica nodes and policy."""
+        new = self.copy()
+        new.policies[process] = policy
+        new.mapping.assign(process, nodes)
+        return new

@@ -1,0 +1,114 @@
+"""Step 1 of the strategy: initial bus access and initial MPA (paper §5, Fig. 6).
+
+``InitialBusAccess`` assigns slot *i* to node *i* and fixes every slot to the
+minimal allowed length — the transmission time of the largest message in the
+application.  ``InitialMPA`` assigns the re-execution policy to every process
+in ``P+`` (the designer-fixed sets ``P_X``/``P_R`` are respected) and maps the
+processes of ``P*`` so that node utilization is balanced.
+"""
+
+from __future__ import annotations
+
+from repro.model.application import Application, Process, ProcessGraph
+from repro.model.architecture import Architecture
+from repro.model.fault import FaultModel
+from repro.model.mapping import ReplicaMapping
+from repro.model.policy import Policy, PolicyAssignment
+from repro.opt.implementation import Implementation
+from repro.ttp.bus import BusConfig
+
+
+def initial_bus_access(
+    application: Application,
+    architecture: Architecture,
+    ms_per_byte: float = 1.0,
+) -> BusConfig:
+    """The paper's ``B0``: node-ordered slots of minimal length."""
+    return BusConfig.minimal(
+        node_order=architecture.node_names,
+        largest_message_size=application.largest_message_size(),
+        ms_per_byte=ms_per_byte,
+    )
+
+
+def initial_policy_for(
+    process: Process,
+    faults: FaultModel,
+    default_replicas: int = 1,
+) -> Policy:
+    """Initial policy: designer-fixed sets win, otherwise ``default_replicas``."""
+    if faults.fault_free:
+        return Policy.reexecution(0)
+    if process.fixed_policy == "replication":
+        return Policy.replication(faults.k)
+    if process.fixed_policy == "reexecution":
+        return Policy.reexecution(faults.k)
+    return Policy.combined(default_replicas, faults.k)
+
+
+def place_replicas(
+    process: Process,
+    n_replicas: int,
+    primary: str,
+    load: dict[str, float],
+) -> tuple[str, ...]:
+    """Choose nodes for the replicas of ``process``, primary first.
+
+    Further replicas go to distinct legal nodes in order of increasing
+    ``load + WCET``; when the process may run on fewer nodes than it has
+    replicas (``k`` can exceed the node count, §4 footnote 1) placement
+    wraps around and co-locates — co-located replicas simply serialize on
+    that node's schedule.
+    """
+    nodes = [primary]
+    allowed = list(process.allowed_nodes)
+    while len(nodes) < n_replicas:
+        remaining = [n for n in allowed if n not in nodes]
+        if not remaining:
+            remaining = allowed  # wrap around: co-location is legal
+        best = min(
+            remaining,
+            key=lambda n: (load.get(n, 0.0) + process.wcet_on(n), n),
+        )
+        nodes.append(best)
+    return tuple(nodes)
+
+
+def initial_mpa(
+    merged: ProcessGraph,
+    architecture: Architecture,
+    faults: FaultModel,
+    bus: BusConfig,
+    default_replicas: int = 1,
+) -> Implementation:
+    """Initial mapping and policy assignment ψ0 (paper ``InitialMPA``).
+
+    Processes are visited in topological order; every replica is placed on
+    the legal node where it finishes the balance criterion
+    ``load(N) + C_P^N`` best.  Pre-mapped processes (set ``P_M``) keep their
+    node as primary.
+    """
+    policies = PolicyAssignment()
+    mapping = ReplicaMapping()
+    load: dict[str, float] = {name: 0.0 for name in architecture.node_names}
+
+    for name in merged.topological_order():
+        process = merged.process(name)
+        policy = initial_policy_for(process, faults, default_replicas)
+        policies[name] = policy
+        if process.fixed_node is not None:
+            primary = process.fixed_node
+        else:
+            primary = min(
+                process.allowed_nodes,
+                key=lambda n: (load[n] + process.wcet_on(n), n),
+            )
+        nodes = place_replicas(process, policy.n_replicas, primary, load)
+        mapping.assign(name, nodes)
+        for replica_index, node in enumerate(nodes):
+            # Utilization balancing counts the recovery slack a replica may
+            # consume, so re-executed processes weigh more than replicas.
+            reexec = policy.reexecutions[replica_index]
+            load[node] += process.wcet_on(node) * (1 + reexec * 0.5)
+
+    return Implementation(policies=policies, mapping=mapping, bus=bus)

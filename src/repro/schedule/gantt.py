@@ -1,0 +1,135 @@
+"""ASCII Gantt rendering of synthesized schedules.
+
+Renders the root schedule of every node plus the TDMA bus as fixed-width
+text, in the style of the paper's schedule figures: process boxes, shared
+recovery slack (hatched), and bus slots with their frames.  Useful for
+examples, debugging moves, and documentation.
+
+Example output (two nodes, one message)::
+
+    0        50        100       150       200
+    |---------|---------|---------|---------|
+    N1  [A        ][B   ]:::::::::
+    N2            [C         ]::::::
+    bus       --m_A_C--
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schedule.table import SystemSchedule
+
+_MIN_WIDTH = 40
+_MAX_WIDTH = 120
+
+
+@dataclass(frozen=True)
+class GanttOptions:
+    """Rendering knobs."""
+
+    width: int = 80  # characters used for the time axis
+    show_slack: bool = True  # hatch the recovery-slack region per node
+    show_bus: bool = True
+    label_instances: bool = True  # write instance names inside boxes
+
+
+def _scale(makespan: float, width: int) -> float:
+    if makespan <= 0:
+        raise ValueError("cannot render an empty schedule")
+    return width / makespan
+
+
+def _axis(makespan: float, width: int) -> list[str]:
+    """Two header lines: tick values and tick marks."""
+    ticks = 5
+    step = makespan / ticks
+    values = ""
+    marks = ""
+    per_tick = width // ticks
+    for i in range(ticks):
+        label = f"{i * step:.0f}"
+        values += label.ljust(per_tick)
+        marks += "|" + "-" * (per_tick - 1)
+    values += f"{makespan:.0f}"
+    marks += "|"
+    return [values, marks]
+
+
+def _paint(row: list[str], start: int, end: int, text: str) -> None:
+    """Write ``text`` into ``row[start:end]`` clipped to the row length."""
+    end = min(end, len(row))
+    start = max(0, start)
+    if end <= start:
+        return
+    body = text[: end - start].ljust(end - start)
+    for offset, char in enumerate(body):
+        row[start + offset] = char
+
+
+def render_gantt(
+    schedule: SystemSchedule,
+    options: GanttOptions | None = None,
+) -> str:
+    """Render ``schedule`` as an ASCII Gantt chart."""
+    options = options or GanttOptions()
+    width = max(_MIN_WIDTH, min(options.width, _MAX_WIDTH))
+    makespan = schedule.makespan
+    scale = _scale(makespan, width)
+
+    label_width = max(
+        [len(node) for node in schedule.node_chains] + [3]
+    ) + 2
+    lines = [
+        " " * label_width + line for line in _axis(makespan, width)
+    ]
+
+    for node in sorted(schedule.node_chains):
+        row = [" "] * width
+        slack_end_col = 0
+        for placed in schedule.node_table(node):
+            start = int(placed.root_start * scale)
+            end = max(start + 1, int(placed.root_finish * scale))
+            name = placed.instance_id if options.label_instances else ""
+            _paint(row, start, end, f"[{name}"[: end - start])
+            if end - start >= 2:
+                row[end - 1] = "]"
+            slack_end_col = max(slack_end_col, int(placed.wcf * scale))
+            root_end_col = end
+        if options.show_slack and schedule.node_chains[node]:
+            # Hatch from the last root finish to the node's worst case.
+            last = schedule.node_table(node)[-1]
+            start = int(last.root_finish * scale)
+            for col in range(start, min(slack_end_col, width)):
+                if row[col] == " ":
+                    row[col] = ":"
+        lines.append(f"{node:<{label_width}}" + "".join(row))
+
+    if options.show_bus and len(schedule.medl):
+        row = [" "] * width
+        for descriptor in schedule.medl:
+            start = int(descriptor.slot_start * scale)
+            end = max(start + 1, int(descriptor.slot_end * scale))
+            name = descriptor.bus_message_id.split("[")[0]
+            _paint(row, start, end, f"-{name}"[: end - start])
+            if end - start >= 2:
+                row[end - 1] = "-"
+        lines.append(f"{'bus':<{label_width}}" + "".join(row))
+
+    lines.append(
+        f"{'':<{label_width}}schedule length {makespan:.1f} ms"
+        f" ([x] root schedule, :::: recovery slack)"
+    )
+    return "\n".join(lines)
+
+
+def render_node_table(schedule: SystemSchedule, node: str) -> str:
+    """A plain-text schedule table for one node (start/finish/WCF rows)."""
+    rows = [f"schedule table of {node}:"]
+    rows.append(f"{'instance':<26}{'start':>10}{'finish':>10}{'WCF':>10}")
+    for placed in schedule.node_table(node):
+        rows.append(
+            f"{placed.instance_id:<26}{placed.root_start:>10.2f}"
+            f"{placed.root_finish:>10.2f}{placed.wcf:>10.2f}"
+        )
+    return "\n".join(rows)

@@ -1,0 +1,265 @@
+"""Fault-tolerance aware list scheduling (paper §5.1, Fig. 6 `ListScheduling`).
+
+Given the merged application graph, a mapping, a policy assignment and a bus
+configuration, this module builds the static schedule tables for every node
+and the MEDL for the TTP bus:
+
+1. the merged graph is expanded into replica instances
+   (:mod:`repro.model.ftgraph`);
+2. instances become *ready* once all their predecessors are scheduled; the
+   ready instance with the highest modified-PCP priority is placed next;
+3. an instance is appended to its node's schedule at the earliest root time
+   allowed by the node and by its inputs — for replicated predecessors this
+   is the arrival of the *first* replica message (contingency scenarios are
+   handled analytically, reproducing Fig. 7);
+4. the worst-case analyzer attaches per-budget finish rows (shared recovery
+   slack), and every outgoing bus message is packed into the earliest TDMA
+   slot at/after the sender's worst-case finish, making recovery transparent
+   to all other nodes;
+5. finally the guaranteed completion of every process is derived from its
+   replicas' worst-case finishes.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import SchedulingError
+from repro.model.application import ProcessGraph
+from repro.model.fault import FaultModel
+from repro.model.ftgraph import FTGraph, build_ft_graph
+from repro.model.mapping import ReplicaMapping
+from repro.model.policy import PolicyAssignment
+from repro.schedule.analysis import (
+    WorstCaseAnalyzer,
+    group_guaranteed_arrival,
+    guaranteed_completion,
+)
+from repro.schedule.priorities import pcp_priorities
+from repro.schedule.table import (
+    Binding,
+    ScheduledInstance,
+    SystemSchedule,
+)
+from repro.ttp.bus import BusConfig
+from repro.ttp.schedule import BusScheduler
+
+
+def list_schedule(
+    graph: ProcessGraph,
+    faults: FaultModel,
+    policies: PolicyAssignment,
+    mapping: ReplicaMapping,
+    bus: BusConfig,
+) -> SystemSchedule:
+    """Build the complete system schedule for one candidate implementation."""
+    ft = build_ft_graph(graph, policies, mapping, faults)
+    return schedule_ft_graph(graph, ft, faults, bus)
+
+
+def schedule_ft_graph(
+    graph: ProcessGraph,
+    ft: FTGraph,
+    faults: FaultModel,
+    bus: BusConfig,
+) -> SystemSchedule:
+    """Schedule an already-expanded FT graph (exposed for tests/tools)."""
+    if len(ft) == 0:
+        raise SchedulingError("nothing to schedule: the FT graph is empty")
+
+    priorities = pcp_priorities(ft, bus, faults)
+    analyzer = WorstCaseAnalyzer(faults)
+    bus_scheduler = BusScheduler(bus)
+    k = faults.k
+
+    # Readiness bookkeeping: an instance is ready when all predecessors in
+    # the instance DAG are placed (their bus messages are scheduled at
+    # placement time, so readiness implies known arrival times).
+    digraph = ft._digraph
+    remaining: dict[str, int] = {
+        iid: digraph.in_degree(iid) for iid in ft.instances
+    }
+    ready: list[tuple[float, str]] = [
+        (-priorities[iid], iid) for iid, count in remaining.items() if count == 0
+    ]
+    heapq.heapify(ready)
+
+    schedule = SystemSchedule(
+        graph=graph, ft=ft, faults=faults, bus=bus, medl=bus_scheduler.medl
+    )
+    root_finish: dict[str, float] = {}
+    finish_rows: dict[str, tuple[float, ...]] = {}
+
+    placed_count = 0
+    while ready:
+        _, iid = heapq.heappop(ready)
+        instance = ft.instance(iid)
+        rel_row, rel_sources = _release_row(
+            ft, iid, k, root_finish, finish_rows, bus_scheduler
+        )
+
+        node = instance.node
+        chain = schedule.node_chains.setdefault(node, [])
+
+        result = analyzer.place(instance, rel_row)
+        if result.dominant == "node" and chain:
+            binding = Binding(kind="node", source=chain[-1])
+        else:
+            source = rel_sources[result.dominant_budget]
+            if source is None:
+                binding = Binding(kind="release")
+            else:
+                binding = Binding(kind="input", source=source)
+        root_start = result.root_finish - instance.wcet
+        schedule.placements[iid] = ScheduledInstance(
+            instance_id=iid,
+            process=instance.process,
+            node=node,
+            root_start=root_start,
+            root_finish=result.root_finish,
+            wcf=result.wcf,
+            finish_row=result.finish_row,
+            binding=binding,
+        )
+        schedule.order.append(iid)
+        chain.append(iid)
+        root_finish[iid] = result.root_finish
+        finish_rows[iid] = result.finish_row
+        placed_count += 1
+
+        outgoing = ft.outgoing_bus_messages(iid)
+        if outgoing:
+            # Fast frames of replicas depart right after the fault-free
+            # finish (Fig. 4b); masked/guaranteed frames only after the
+            # worst-case finish so recovery stays transparent (Fig. 4a).
+            #
+            # Co-location caveat: killing an *earlier co-located* replica of
+            # the same process both removes that replica's frame and delays
+            # this one (fault reuse).  The fast frame therefore departs only
+            # after the finish under a budget covering those sibling kills,
+            # so the receiver-side marginal cost accounting stays sound.
+            reuse_budget = 0
+            for sibling in ft.group_of[instance.process]:
+                if (
+                    sibling != iid
+                    and sibling in root_finish
+                    and ft.instances[sibling].node == node
+                ):
+                    reuse_budget += ft.instances[sibling].kill_cost
+            fast_ready = result.finish_row[min(reuse_budget, k)]
+            for bus_message in outgoing:
+                data_ready = fast_ready if bus_message.kind == "fast" else result.wcf
+                bus_scheduler.schedule_message(
+                    bus_message_id=bus_message.id,
+                    sender_node=node,
+                    size_bytes=bus_message.message.size,
+                    ready_time=data_ready,
+                )
+
+        for succ in digraph.successors(iid):
+            remaining[succ] -= 1
+            if remaining[succ] == 0:
+                heapq.heappush(ready, (-priorities[succ], succ))
+
+    if placed_count != len(ft):
+        unplaced = [iid for iid, count in remaining.items() if count > 0]
+        raise SchedulingError(
+            f"list scheduling left {len(unplaced)} instances unplaced "
+            f"(cycle in the FT graph?): {unplaced[:5]}"
+        )
+
+    _derive_completions(schedule, ft, k)
+    return schedule
+
+
+def _release_row(
+    ft: FTGraph,
+    iid: str,
+    k: int,
+    root_finish: dict[str, float],
+    finish_rows: dict[str, tuple[float, ...]],
+    bus_scheduler: BusScheduler,
+) -> tuple[list[float], list[str | None]]:
+    """Guaranteed release per adversary budget, plus per-budget sources.
+
+    ``rel_row[c]`` is the latest guaranteed availability of all inputs when
+    the adversary may spend ``c`` faults invalidating input messages;
+    ``rel_row[0]`` is the fault-free (root) release.  ``sources[c]`` names
+    the sender instance whose (possibly contingency) arrival dominates at
+    budget ``c`` — the critical-path extraction follows these links — or
+    ``None`` when the release time itself dominates.
+
+    Every input group contributes one *entry list*: per sender replica a
+    local finish, a masked arrival, or a fast arrival (plus, for re-executed
+    replicas, the guaranteed second frame).  Each entry carries the marginal
+    number of faults the adversary must spend to invalidate it; the greedy
+    earliest-first kill of :func:`group_guaranteed_arrival` then yields the
+    guaranteed arrival per budget.
+    """
+    instance = ft.instance(iid)
+    node = instance.node
+    medl = bus_scheduler.medl
+    rel_row = [instance.release] * (k + 1)
+    sources: list[str | None] = [None] * (k + 1)
+
+    for group in ft.inputs_of(iid):
+        arrivals: list[tuple[float, int, str]] = []
+        replicated = len(group.sources) > 1
+        for src_iid in group.sources:
+            src = ft.instance(src_iid)
+            if src.node == node:
+                # Local input: delays of the local chain are handled by the
+                # node DP, so only the terminal kill removes this entry.
+                arrivals.append((root_finish[src_iid], src.kill_cost, src_iid))
+                continue
+            bus_id = f"{group.message.name}[{src_iid}]"
+            descriptor = medl[bus_id]
+            if not replicated:
+                # Masked frame: slot lies after the sender's WCF, so within
+                # budget k only a terminal kill (impossible for a sole
+                # replica of a valid policy) removes it.
+                arrivals.append((descriptor.arrival, src.kill_cost, src_iid))
+                continue
+            # Fast frame: invalid if the sender misses the slot start. The
+            # cheapest way is q* faults delaying the sender (its finish row
+            # exceeds the slot start) or an outright kill, whichever is
+            # cheaper.  A fault on the sender both delays and counts toward
+            # the kill, so the guaranteed frame costs the *remaining* kills.
+            row = finish_rows[src_iid]
+            q_star = k + 1
+            for q in range(k + 1):
+                if row[q] > descriptor.slot_start + 1e-9:
+                    q_star = q
+                    break
+            fast_cost = min(src.kill_cost, q_star)
+            arrivals.append((descriptor.arrival, fast_cost, src_iid))
+            if src.reexecutions > 0 and fast_cost < src.kill_cost:
+                guaranteed_id = bus_id + "#g"
+                arrivals.append(
+                    (
+                        medl.arrival(guaranteed_id),
+                        src.kill_cost - fast_cost,
+                        src_iid,
+                    )
+                )
+        arrivals.sort()
+        pairs = [(a, cost) for a, cost, _ in arrivals]
+        for c in range(k + 1):
+            guaranteed = group_guaranteed_arrival(pairs, c)
+            if guaranteed > rel_row[c]:
+                rel_row[c] = guaranteed
+                survivor = next(
+                    entry for entry in arrivals if entry[0] == guaranteed
+                )
+                sources[c] = survivor[2]
+    return rel_row, sources
+
+
+def _derive_completions(schedule: SystemSchedule, ft: FTGraph, k: int) -> None:
+    """Guaranteed completion of every process from its replicas' WCFs."""
+    for process, replica_ids in ft.group_of.items():
+        pairs = [
+            (schedule.placements[iid].wcf, ft.instance(iid).kill_cost)
+            for iid in replica_ids
+        ]
+        schedule.completions[process] = guaranteed_completion(pairs, k)

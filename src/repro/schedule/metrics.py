@@ -1,0 +1,167 @@
+"""Diagnostics for synthesized schedules: utilization, slack, bus load.
+
+These are the quantities a designer inspects when the optimizer reports an
+unschedulable system: which node is saturated, how much of the schedule is
+recovery slack, how loaded the TDMA rounds are, and how much redundancy the
+chosen policies cost (the paper's "overhead" decomposed per resource).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.schedule.table import SystemSchedule
+
+
+@dataclass(frozen=True)
+class NodeMetrics:
+    """Per-node timing breakdown."""
+
+    node: str
+    busy_time: float  # sum of fault-free execution times
+    slack_time: float  # worst-case recovery slack (WCF end - root end)
+    horizon: float  # schedule length used for utilization
+    instances: int
+
+    @property
+    def utilization(self) -> float:
+        """Fault-free busy fraction of the schedule horizon."""
+        if self.horizon <= 0:
+            return 0.0
+        return self.busy_time / self.horizon
+
+    @property
+    def worst_case_utilization(self) -> float:
+        """Busy + reserved-slack fraction of the horizon."""
+        if self.horizon <= 0:
+            return 0.0
+        return min(1.0, (self.busy_time + self.slack_time) / self.horizon)
+
+
+@dataclass(frozen=True)
+class BusMetrics:
+    """TDMA bus usage."""
+
+    frames: int
+    payload_bytes: int
+    rounds_used: int
+    round_length: float
+    last_slot_end: float
+
+    @property
+    def bytes_per_round(self) -> float:
+        if self.rounds_used == 0:
+            return 0.0
+        return self.payload_bytes / self.rounds_used
+
+
+@dataclass(frozen=True)
+class RedundancyMetrics:
+    """How much extra execution the policy assignment reserves."""
+
+    base_executions: int  # one per process
+    replica_executions: int  # additional active replicas
+    reserved_reexecutions: int  # re-execution budget across all replicas
+
+    @property
+    def space_redundancy(self) -> float:
+        """Replica executions per process (0.0 = no replication)."""
+        if self.base_executions == 0:
+            return 0.0
+        return self.replica_executions / self.base_executions
+
+    @property
+    def time_redundancy(self) -> float:
+        """Reserved re-executions per process."""
+        if self.base_executions == 0:
+            return 0.0
+        return self.reserved_reexecutions / self.base_executions
+
+
+@dataclass
+class ScheduleMetrics:
+    """Everything together, with a text rendering."""
+
+    makespan: float
+    nodes: dict[str, NodeMetrics] = field(default_factory=dict)
+    bus: BusMetrics | None = None
+    redundancy: RedundancyMetrics | None = None
+
+    def bottleneck_node(self) -> str:
+        """The node with the highest worst-case utilization."""
+        return max(
+            self.nodes, key=lambda n: (self.nodes[n].worst_case_utilization, n)
+        )
+
+    def format(self) -> str:
+        lines = [f"schedule length: {self.makespan:.1f} ms"]
+        for name in sorted(self.nodes):
+            m = self.nodes[name]
+            lines.append(
+                f"  {name:<6} busy {m.busy_time:7.1f} ms ({m.utilization:5.1%})"
+                f"  slack {m.slack_time:7.1f} ms"
+                f"  worst-case {m.worst_case_utilization:5.1%}"
+                f"  [{m.instances} instances]"
+            )
+        if self.bus is not None:
+            lines.append(
+                f"  bus    {self.bus.frames} frames, {self.bus.payload_bytes} B"
+                f" over {self.bus.rounds_used} rounds"
+                f" (round {self.bus.round_length:.1f} ms)"
+            )
+        if self.redundancy is not None:
+            lines.append(
+                f"  redundancy: {self.redundancy.space_redundancy:.2f} extra "
+                f"replicas/process, {self.redundancy.time_redundancy:.2f} "
+                f"re-executions/process"
+            )
+        lines.append(f"  bottleneck: {self.bottleneck_node()}")
+        return "\n".join(lines)
+
+
+def compute_metrics(schedule: SystemSchedule) -> ScheduleMetrics:
+    """Derive :class:`ScheduleMetrics` from a synthesized schedule."""
+    makespan = schedule.makespan
+    metrics = ScheduleMetrics(makespan=makespan)
+
+    for node, chain in schedule.node_chains.items():
+        busy = 0.0
+        slack = 0.0
+        for iid in chain:
+            placed = schedule.placements[iid]
+            busy += placed.root_finish - placed.root_start
+        if chain:
+            last = schedule.placements[chain[-1]]
+            node_wcf = max(schedule.placements[iid].wcf for iid in chain)
+            slack = max(0.0, node_wcf - last.root_finish)
+        metrics.nodes[node] = NodeMetrics(
+            node=node,
+            busy_time=busy,
+            slack_time=slack,
+            horizon=makespan,
+            instances=len(chain),
+        )
+
+    descriptors = list(schedule.medl)
+    rounds = {(d.sender_node, d.round_index) for d in descriptors}
+    metrics.bus = BusMetrics(
+        frames=len(rounds),
+        payload_bytes=sum(d.size_bytes for d in descriptors),
+        rounds_used=len({d.round_index for d in descriptors}),
+        round_length=schedule.bus.round_length,
+        last_slot_end=schedule.medl.last_slot_end(),
+    )
+
+    base = len(schedule.ft.group_of)
+    replicas = sum(
+        len(group) - 1 for group in schedule.ft.group_of.values()
+    )
+    reserved = sum(
+        schedule.ft.instances[iid].reexecutions for iid in schedule.ft.instances
+    )
+    metrics.redundancy = RedundancyMetrics(
+        base_executions=base,
+        replica_executions=replicas,
+        reserved_reexecutions=reserved,
+    )
+    return metrics

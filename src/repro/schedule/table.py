@@ -1,0 +1,157 @@
+"""Schedule tables: the synthesized system configuration ``S`` (paper §4).
+
+A :class:`SystemSchedule` bundles the per-node static schedule tables (root
+start times plus worst-case finish rows), the bus MEDL, and the analysis
+results (guaranteed completions, schedule length, schedulability).  It also
+records, for every instance, the *binding* constraint that determined its
+root start time; following bindings backwards yields the critical path used
+by the optimization moves (paper §5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+from repro.model.application import ProcessGraph
+from repro.model.fault import FaultModel
+from repro.model.ftgraph import FTGraph
+from repro.ttp.bus import BusConfig
+from repro.ttp.medl import MEDL
+
+
+@dataclass(frozen=True)
+class Binding:
+    """Which constraint fixed an instance's root start time.
+
+    ``kind`` is ``"release"`` (its release time), ``"node"`` (the previous
+    instance in the node's schedule; ``source`` is its id) or ``"input"``
+    (an input arrival; ``source`` is the sender instance id).
+    """
+
+    kind: str
+    source: str | None = None
+
+
+@dataclass(frozen=True)
+class ScheduledInstance:
+    """One row of a node's static schedule table."""
+
+    instance_id: str
+    process: str
+    node: str
+    root_start: float
+    root_finish: float
+    wcf: float
+    finish_row: tuple[float, ...]
+    binding: Binding
+
+
+@dataclass
+class SystemSchedule:
+    """The full synthesized schedule plus its worst-case analysis."""
+
+    graph: ProcessGraph
+    ft: FTGraph
+    faults: FaultModel
+    bus: BusConfig
+    medl: MEDL
+    placements: dict[str, ScheduledInstance] = field(default_factory=dict)
+    order: list[str] = field(default_factory=list)
+    node_chains: dict[str, list[str]] = field(default_factory=dict)
+    completions: dict[str, float] = field(default_factory=dict)
+
+    # -- schedule-level metrics ---------------------------------------------
+
+    @property
+    def makespan(self) -> float:
+        """Schedule length δ: latest guaranteed completion of any process."""
+        if not self.completions:
+            raise SchedulingError("schedule has no completions")
+        return max(self.completions.values())
+
+    def tardiness(self) -> dict[str, float]:
+        """Per-process positive lateness versus its (absolute) deadline."""
+        late: dict[str, float] = {}
+        for name, process in self.graph.processes.items():
+            if process.deadline is None:
+                continue
+            overshoot = self.completions[name] - process.deadline
+            if overshoot > 1e-9:
+                late[name] = overshoot
+        return late
+
+    def degree_of_schedulability(self) -> float:
+        """Sum of deadline overshoots (0.0 when schedulable)."""
+        return sum(self.tardiness().values())
+
+    @property
+    def is_schedulable(self) -> bool:
+        return not self.tardiness()
+
+    # -- views ----------------------------------------------------------------
+
+    def node_table(self, node: str) -> list[ScheduledInstance]:
+        """The static schedule table of ``node`` in execution order."""
+        return [self.placements[iid] for iid in self.node_chains.get(node, [])]
+
+    def instance_wcf(self, iid: str) -> float:
+        return self.placements[iid].wcf
+
+    def completion(self, process: str) -> float:
+        try:
+            return self.completions[process]
+        except KeyError:
+            raise SchedulingError(f"unknown process {process!r}") from None
+
+    # -- critical path -----------------------------------------------------
+
+    def critical_path(self) -> list[str]:
+        """Process names on the chain of constraints behind the makespan.
+
+        Starting from the process whose guaranteed completion equals the
+        schedule length, follow each instance's binding backwards (node
+        predecessor or input sender) until a release-bound instance is
+        reached.  The result is ordered source -> sink, deduplicated.
+        """
+        target = max(self.completions, key=lambda p: (self.completions[p], p))
+        replicas = self.ft.replicas(target)
+        iid = max(replicas, key=lambda r: (self.placements[r].wcf, r))
+        path: list[str] = []
+        seen: set[str] = set()
+        guard = 0
+        while iid is not None:
+            guard += 1
+            if guard > len(self.placements) + 1:
+                raise SchedulingError("cyclic binding chain (internal error)")
+            placed = self.placements[iid]
+            if placed.process not in seen:
+                path.append(placed.process)
+                seen.add(placed.process)
+            iid = placed.binding.source
+        path.reverse()
+        return path
+
+    # -- rendering -----------------------------------------------------------
+
+    def format_tables(self) -> str:
+        """ASCII rendering of all node schedule tables and the MEDL."""
+        lines: list[str] = []
+        for node in sorted(self.node_chains):
+            lines.append(f"node {node}:")
+            for placed in self.node_table(node):
+                lines.append(
+                    f"  {placed.instance_id:<24} start={placed.root_start:8.2f} "
+                    f"finish={placed.root_finish:8.2f} wcf={placed.wcf:8.2f}"
+                )
+        if len(self.medl):
+            lines.append("bus (MEDL):")
+            for descriptor in sorted(
+                self.medl, key=lambda d: (d.slot_start, d.offset_bytes)
+            ):
+                lines.append(
+                    f"  {descriptor.bus_message_id:<28} round={descriptor.round_index:<3} "
+                    f"slot=[{descriptor.slot_start:.2f}, {descriptor.slot_end:.2f})"
+                )
+        lines.append(f"schedule length = {self.makespan:.2f} ms")
+        return "\n".join(lines)

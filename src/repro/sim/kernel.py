@@ -1,0 +1,83 @@
+"""Real-time kernel model of one node (paper §2.2).
+
+The kernel activates processes in static schedule-table order.  A process
+never starts before its table (root) start time; faults delay the local
+chain — this is the contingency-schedule behaviour: later processes on the
+node slide into the recovery slack, while other nodes notice nothing
+because frames keep their MEDL times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.fault import FaultModel
+from repro.model.ftgraph import Instance
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """What one instance actually did in one simulated cycle."""
+
+    instance_id: str
+    start: float
+    finish: float  # completion of the successful attempt, or busy-end if dead
+    attempts: int
+    produced: bool  # False iff the replica failed terminally
+
+    @property
+    def output_ready(self) -> float | None:
+        return self.finish if self.produced else None
+
+
+class NodeKernel:
+    """Executes one node's schedule chain under a concrete fault scenario."""
+
+    def __init__(self, node: str, faults: FaultModel) -> None:
+        self.node = node
+        self._faults = faults
+        self._time = 0.0
+        self.records: list[ExecutionRecord] = []
+
+    @property
+    def local_time(self) -> float:
+        """Busy-until time of the CPU."""
+        return self._time
+
+    def execute(
+        self,
+        instance: Instance,
+        table_start: float,
+        inputs_ready: float,
+        failed_attempts: int,
+    ) -> ExecutionRecord:
+        """Run ``instance`` with ``failed_attempts`` injected faults.
+
+        The start time honours the static table (no early starts), the local
+        chain (contingency delays) and the actual input arrival.  Each failed
+        attempt costs ``C + µ`` (detection + recovery); the replica dies when
+        the failures exceed its re-execution budget.
+        """
+        wcet = instance.wcet
+        recovery = instance.recovery_unit  # segment only, if checkpointed
+        mu = self._faults.mu
+        start = max(table_start, inputs_ready, self._time, instance.release)
+        survives = failed_attempts <= instance.reexecutions
+        if survives:
+            attempts = failed_attempts + 1
+            finish = start + wcet + failed_attempts * (recovery + mu)
+        else:
+            attempts = instance.reexecutions + 1
+            finish = (
+                start + (wcet + mu) + instance.reexecutions * (recovery + mu)
+            )
+        record = ExecutionRecord(
+            instance_id=instance.id,
+            start=start,
+            finish=finish,
+            attempts=attempts,
+            produced=survives,
+        )
+        self._time = finish
+        self.records.append(record)
+        return record

@@ -1,0 +1,151 @@
+"""Validation of synthesized schedules by fault injection.
+
+For every injected scenario with at most *k* faults the validator checks:
+
+1. **liveness** — every process produces output from at least one replica
+   and no instance starves for input;
+2. **analysis soundness** — every surviving instance finishes no later than
+   its analytical worst-case finish, and every process no later than its
+   guaranteed completion;
+3. **deadlines** — processes with (absolute) deadlines meet them.
+
+This closes the loop on the conservative approximations documented in
+``DESIGN.md``: the analytical bound is checked *from below* by execution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import FaultToleranceViolation
+from repro.schedule.table import SystemSchedule
+from repro.sim.engine import SystemSimulator
+from repro.sim.faults import (
+    FaultScenario,
+    adversarial_scenarios,
+    enumerate_scenarios,
+    sample_scenarios,
+)
+
+_EPS = 1e-6
+
+#: Below this instance count, all <=k scenarios are enumerated exhaustively.
+_EXHAUSTIVE_LIMIT = 400
+
+
+@dataclass
+class ValidationReport:
+    """Aggregated outcome of a validation run."""
+
+    scenarios_checked: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, message: str) -> None:
+        self.violations.append(message)
+
+    def summary(self) -> str:
+        status = "PASS" if self.ok else f"FAIL ({len(self.violations)} violations)"
+        return f"{status} over {self.scenarios_checked} fault scenarios"
+
+
+def default_scenarios(
+    schedule: SystemSchedule,
+    samples: int = 200,
+    rng: random.Random | None = None,
+) -> list[FaultScenario]:
+    """Exhaustive for small systems, adversarial + random sampling otherwise."""
+    ft = schedule.ft
+    k = schedule.faults.k
+    approx = (len(ft) + 1) ** min(k, 4)
+    if approx <= _EXHAUSTIVE_LIMIT:
+        return list(enumerate_scenarios(ft, k))
+    rng = rng or random.Random(0xFA17)
+    scenarios = adversarial_scenarios(ft, k)
+    scenarios += sample_scenarios(ft, k, rng, count=samples)
+    scenarios += sample_scenarios(
+        ft, k, rng, count=max(10, samples // 10), always_max_faults=True
+    )
+    return scenarios
+
+
+def validate_schedule(
+    schedule: SystemSchedule,
+    scenarios: Iterable[FaultScenario] | None = None,
+    samples: int = 200,
+    rng: random.Random | None = None,
+) -> ValidationReport:
+    """Simulate ``schedule`` under fault scenarios and collect violations."""
+    simulator = SystemSimulator(schedule)
+    report = ValidationReport()
+    if scenarios is None:
+        scenarios = default_scenarios(schedule, samples=samples, rng=rng)
+    for scenario in scenarios:
+        report.scenarios_checked += 1
+        _check_one(simulator, scenario, report)
+    return report
+
+
+def _check_one(
+    simulator: SystemSimulator,
+    scenario: FaultScenario,
+    report: ValidationReport,
+) -> None:
+    schedule = simulator.schedule
+    k = schedule.faults.k
+    if scenario.total_faults > k:
+        raise FaultToleranceViolation(
+            f"scenario {scenario.describe()} exceeds the fault model (k={k})"
+        )
+    result = simulator.run(scenario)
+    tag = scenario.describe()
+
+    for iid in result.starved:
+        report.add(f"{tag}: instance {iid} starved for input")
+    for process in result.dead_processes:
+        report.add(f"{tag}: process {process} produced no output")
+
+    for iid, record in result.executions.items():
+        if not record.produced:
+            continue
+        bound = schedule.placements[iid].wcf
+        if record.finish > bound + _EPS:
+            report.add(
+                f"{tag}: instance {iid} finished at {record.finish:.3f} "
+                f"after its analytical WCF {bound:.3f}"
+            )
+
+    for process, completion in result.completions.items():
+        guaranteed = schedule.completions[process]
+        if completion > guaranteed + _EPS:
+            report.add(
+                f"{tag}: process {process} completed at {completion:.3f} "
+                f"after its guaranteed completion {guaranteed:.3f}"
+            )
+        deadline = schedule.graph.process(process).deadline
+        if deadline is not None and completion > deadline + _EPS:
+            report.add(
+                f"{tag}: process {process} missed its deadline "
+                f"{deadline:.3f} (finished {completion:.3f})"
+            )
+
+
+def assert_fault_tolerant(
+    schedule: SystemSchedule,
+    scenarios: Sequence[FaultScenario] | None = None,
+    samples: int = 200,
+) -> ValidationReport:
+    """Raise :class:`FaultToleranceViolation` unless validation passes."""
+    report = validate_schedule(schedule, scenarios=scenarios, samples=samples)
+    if not report.ok:
+        preview = "; ".join(report.violations[:5])
+        raise FaultToleranceViolation(
+            f"schedule failed fault injection ({len(report.violations)} "
+            f"violations): {preview}"
+        )
+    return report

@@ -1,0 +1,15 @@
+"""Time-triggered protocol (TTP/TDMA) communication substrate (paper §2.1)."""
+
+from repro.ttp.bus import BusConfig
+from repro.ttp.frame import Frame, FrameAllocation
+from repro.ttp.medl import MEDL, MessageDescriptor
+from repro.ttp.schedule import BusScheduler
+
+__all__ = [
+    "BusConfig",
+    "BusScheduler",
+    "Frame",
+    "FrameAllocation",
+    "MEDL",
+    "MessageDescriptor",
+]

@@ -1,0 +1,63 @@
+"""Frames: per-slot payload containers with byte-level packing (paper §2.1).
+
+"In such a slot, a node can send several messages packed in a frame."  A
+:class:`Frame` represents the payload of one node's slot in one round; the
+:class:`repro.ttp.schedule.BusScheduler` fills frames first-fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FrameAllocation:
+    """One message placed inside a frame."""
+
+    bus_message_id: str
+    offset_bytes: int
+    size_bytes: int
+
+    @property
+    def end_bytes(self) -> int:
+        return self.offset_bytes + self.size_bytes
+
+
+@dataclass
+class Frame:
+    """The payload of node ``node``'s slot in round ``round_index``."""
+
+    node: str
+    round_index: int
+    capacity_bytes: int
+    allocations: list[FrameAllocation] = field(default_factory=list)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(a.size_bytes for a in self.allocations)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def fits(self, size_bytes: int) -> bool:
+        return size_bytes <= self.free_bytes
+
+    def pack(self, bus_message_id: str, size_bytes: int) -> FrameAllocation:
+        """Append a message to the frame; raises if it does not fit."""
+        if size_bytes <= 0:
+            raise ConfigurationError("message size must be positive")
+        if not self.fits(size_bytes):
+            raise ConfigurationError(
+                f"frame {self.node}/{self.round_index} has {self.free_bytes} "
+                f"free bytes; cannot pack {size_bytes}"
+            )
+        allocation = FrameAllocation(
+            bus_message_id=bus_message_id,
+            offset_bytes=self.used_bytes,
+            size_bytes=size_bytes,
+        )
+        self.allocations.append(allocation)
+        return allocation

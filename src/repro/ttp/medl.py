@@ -1,0 +1,76 @@
+"""Message Descriptor List (MEDL) — the TTP controller's schedule table.
+
+"The TDMA access scheme is imposed by a message descriptor list (MEDL) that
+is located in every TTP controller" (paper §2.1).  Our MEDL maps every bus
+message to the slot/round in which it is broadcast and exposes per-node views
+used by the simulated controllers in :mod:`repro.sim.controller`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MessageDescriptor:
+    """Where and when one bus message is broadcast."""
+
+    bus_message_id: str
+    sender_node: str
+    round_index: int
+    slot_start: float
+    slot_end: float
+    offset_bytes: int
+    size_bytes: int
+
+    @property
+    def arrival(self) -> float:
+        """Delivery time at every receiver: end of the slot."""
+        return self.slot_end
+
+
+class MEDL:
+    """All message descriptors of one synthesized system schedule."""
+
+    def __init__(self) -> None:
+        self._by_id: dict[str, MessageDescriptor] = {}
+
+    def add(self, descriptor: MessageDescriptor) -> MessageDescriptor:
+        if descriptor.bus_message_id in self._by_id:
+            raise ConfigurationError(
+                f"duplicate MEDL entry for {descriptor.bus_message_id!r}"
+            )
+        self._by_id[descriptor.bus_message_id] = descriptor
+        return descriptor
+
+    def __getitem__(self, bus_message_id: str) -> MessageDescriptor:
+        try:
+            return self._by_id[bus_message_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"no MEDL entry for bus message {bus_message_id!r}"
+            ) from None
+
+    def __contains__(self, bus_message_id: str) -> bool:
+        return bus_message_id in self._by_id
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[MessageDescriptor]:
+        return iter(self._by_id.values())
+
+    def arrival(self, bus_message_id: str) -> float:
+        return self[bus_message_id].arrival
+
+    def for_node(self, node: str) -> list[MessageDescriptor]:
+        """Descriptors transmitted by ``node``, in slot order."""
+        mine = [d for d in self._by_id.values() if d.sender_node == node]
+        return sorted(mine, key=lambda d: (d.round_index, d.offset_bytes))
+
+    def last_slot_end(self) -> float:
+        """End of the latest used slot (0 when the bus is unused)."""
+        return max((d.slot_end for d in self._by_id.values()), default=0.0)

@@ -1,0 +1,78 @@
+"""Bus scheduling: allocate bus messages to TDMA slots (paper §5.1).
+
+The :class:`BusScheduler` implements the ``ScheduleMessage`` function used by
+the list scheduler: a message from node ``N`` ready at time ``t`` is packed
+into the earliest frame of ``N`` whose slot starts at or after ``t`` and
+which still has payload capacity.  Delivery is at slot end (see
+:mod:`repro.ttp.bus`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.ttp.bus import BusConfig
+from repro.ttp.frame import Frame
+from repro.ttp.medl import MEDL, MessageDescriptor
+
+
+class BusScheduler:
+    """Stateful first-fit allocator of messages into TDMA frames."""
+
+    def __init__(self, bus: BusConfig) -> None:
+        self.bus = bus
+        self.medl = MEDL()
+        self._frames: dict[tuple[str, int], Frame] = {}
+
+    def _frame(self, node: str, round_index: int) -> Frame:
+        key = (node, round_index)
+        frame = self._frames.get(key)
+        if frame is None:
+            frame = Frame(
+                node=node,
+                round_index=round_index,
+                capacity_bytes=self.bus.capacity_bytes(node),
+            )
+            self._frames[key] = frame
+        return frame
+
+    def schedule_message(
+        self,
+        bus_message_id: str,
+        sender_node: str,
+        size_bytes: int,
+        ready_time: float,
+    ) -> MessageDescriptor:
+        """Pack one message into the earliest feasible frame of its sender.
+
+        ``ready_time`` is the latest time the payload can be produced in any
+        fault scenario (the sender's worst-case finish), so the resulting
+        slot time is valid in *every* scenario — this is what makes recovery
+        transparent to other nodes.
+        """
+        if size_bytes > self.bus.capacity_bytes(sender_node):
+            raise ConfigurationError(
+                f"message {bus_message_id!r} ({size_bytes} B) exceeds the "
+                f"frame capacity of node {sender_node!r} "
+                f"({self.bus.capacity_bytes(sender_node)} B)"
+            )
+        round_index = self.bus.first_round_at_or_after(sender_node, ready_time)
+        while True:
+            frame = self._frame(sender_node, round_index)
+            if frame.fits(size_bytes):
+                allocation = frame.pack(bus_message_id, size_bytes)
+                descriptor = MessageDescriptor(
+                    bus_message_id=bus_message_id,
+                    sender_node=sender_node,
+                    round_index=round_index,
+                    slot_start=self.bus.slot_start(sender_node, round_index),
+                    slot_end=self.bus.slot_end(sender_node, round_index),
+                    offset_bytes=allocation.offset_bytes,
+                    size_bytes=size_bytes,
+                )
+                return self.medl.add(descriptor)
+            round_index += 1
+
+    def frames(self) -> list[Frame]:
+        """All non-empty frames, ordered by time."""
+        used = [f for f in self._frames.values() if f.allocations]
+        return sorted(used, key=lambda f: self.bus.slot_start(f.node, f.round_index))

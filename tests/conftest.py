@@ -1,0 +1,83 @@
+"""Shared fixtures and builders for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.model.application import Application, Process, ProcessGraph
+from repro.model.architecture import Architecture, Node
+from repro.model.fault import FaultModel
+from repro.model.mapping import ReplicaMapping
+from repro.model.merge import merge_application
+from repro.model.policy import Policy, PolicyAssignment
+from repro.schedule.list_scheduler import list_schedule
+from repro.ttp.bus import BusConfig
+
+
+def make_graph(
+    processes: dict[str, dict[str, float]],
+    edges: list[tuple[str, str, int]] | list[tuple[str, str]] = (),
+    name: str = "g",
+    deadline: float | None = None,
+    period: float | None = None,
+) -> ProcessGraph:
+    """Build a graph from dict/edge-list shorthand."""
+    graph = ProcessGraph(name, period=period, deadline=deadline)
+    for pname, wcet in processes.items():
+        graph.add_process(Process(pname, wcet))
+    for edge in edges:
+        src, dst, *rest = edge
+        graph.connect(src, dst, size=rest[0] if rest else 1)
+    return graph
+
+
+def schedule_single_graph(
+    graph: ProcessGraph,
+    faults: FaultModel,
+    policies: dict[str, Policy],
+    mapping: dict[str, tuple[str, ...] | str],
+    bus: BusConfig,
+):
+    """Merge + list-schedule one graph with explicit design decisions."""
+    merged = merge_application(Application([graph]))
+    assignment = PolicyAssignment(policies)
+    replica_mapping = ReplicaMapping()
+    for process, nodes in mapping.items():
+        replica_mapping.assign(process, nodes)
+    return list_schedule(merged, faults, assignment, replica_mapping, bus)
+
+
+@pytest.fixture
+def two_node_arch() -> Architecture:
+    return Architecture([Node("N1"), Node("N2")])
+
+
+@pytest.fixture
+def three_node_arch() -> Architecture:
+    return Architecture([Node("N1"), Node("N2"), Node("N3")])
+
+
+@pytest.fixture
+def bus2() -> BusConfig:
+    """Two slots of 10 ms as in the paper's Figure 3 examples."""
+    return BusConfig(
+        slot_order=("N1", "N2"),
+        slot_lengths={"N1": 10.0, "N2": 10.0},
+        ms_per_byte=5.0,
+    )
+
+
+@pytest.fixture
+def bus3() -> BusConfig:
+    return BusConfig(
+        slot_order=("N1", "N2", "N3"),
+        slot_lengths={"N1": 10.0, "N2": 10.0, "N3": 10.0},
+        ms_per_byte=5.0,
+    )
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)

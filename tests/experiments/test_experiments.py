@@ -1,0 +1,111 @@
+"""Tests for the experiment runners (tiny budgets, shape checks only)."""
+
+import pytest
+
+from repro.experiments.figure10 import figure10
+from repro.experiments.reporting import (
+    format_cruise,
+    format_figure10,
+    format_table1,
+)
+from repro.experiments.runner import budget_for, run_variants
+from repro.experiments.table1 import Table1Row, table1a, table1b, table1c
+from repro.experiments.cruise import CruiseResult
+from repro.gen.suite import generate_case
+from repro.opt.strategy import OptimizationConfig
+
+TINY = OptimizationConfig(
+    minimize=True, rounds=1, greedy_max_iterations=3, tabu_max_iterations=2
+)
+TINY_DIM = ((10, 2, 2),)
+
+
+class TestBudget:
+    def test_budget_scales_with_size(self):
+        assert budget_for(20).time_limit_s < budget_for(100).time_limit_s
+
+    def test_time_scale_multiplies(self):
+        assert budget_for(20, 2.0).time_limit_s == 2 * budget_for(20).time_limit_s
+
+    def test_oversized_apps_extrapolate(self):
+        assert budget_for(200).time_limit_s > budget_for(100).time_limit_s
+
+    def test_minimize_mode(self):
+        assert budget_for(20).minimize is True
+
+
+class TestRunVariants:
+    def test_overheads_positive(self):
+        case = generate_case(10, 2, 2, mu=5.0, seed=0)
+        runs = run_variants(case, ("NFT", "MXR"), config=TINY)
+        assert runs["MXR"].makespan >= runs["NFT"].makespan
+        assert runs["MXR"].overhead_vs(runs["NFT"]) >= 0.0
+        assert runs["NFT"].evaluations > 0
+
+
+class TestTable1Row:
+    def test_aggregation(self):
+        row = Table1Row.from_overheads("x", [10.0, 30.0, 20.0])
+        assert row.max_overhead == 30.0
+        assert row.min_overhead == 10.0
+        assert row.avg_overhead == pytest.approx(20.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Table1Row.from_overheads("x", [])
+
+
+class TestSweeps:
+    def test_table1a_row_shape(self):
+        rows = table1a(seeds=(0,), dimensions=TINY_DIM, time_scale=0.05)
+        assert len(rows) == 1
+        assert rows[0].min_overhead <= rows[0].avg_overhead <= rows[0].max_overhead
+
+    def test_table1b_overhead_grows_with_k(self):
+        rows = table1b(
+            seeds=(0,), fault_counts=(1, 4), n_processes=10, n_nodes=2,
+            time_scale=0.05,
+        )
+        assert rows[0].avg_overhead < rows[1].avg_overhead
+
+    def test_table1c_overhead_grows_with_mu(self):
+        rows = table1c(
+            seeds=(0,), fault_durations=(1.0, 20.0), n_processes=10,
+            n_nodes=2, k=2, time_scale=0.05,
+        )
+        assert rows[0].avg_overhead <= rows[1].avg_overhead
+
+    def test_figure10_row_shape(self):
+        rows = figure10(seeds=(0,), dimensions=TINY_DIM, time_scale=0.05)
+        assert len(rows) == 1
+        series = rows[0].series()
+        assert set(series) == {"MX", "MR", "SFX"}
+        # MR (pure replication) must be the worst strategy.
+        assert series["MR"] >= series["MX"]
+
+
+class TestReporting:
+    def test_format_table1(self):
+        rows = [Table1Row("20 procs", 3, 90.0, 70.0, 50.0)]
+        text = format_table1(rows, "Table 1a")
+        assert "Table 1a" in text
+        assert "20 procs" in text
+        assert "70.00" in text
+
+    def test_format_figure10(self):
+        from repro.experiments.figure10 import Figure10Row
+
+        text = format_figure10([Figure10Row(20, 3, 10.0, 80.0, 40.0)])
+        assert "MX" in text and "MR" in text and "SFX" in text
+
+    def test_format_cruise(self):
+        result = CruiseResult(
+            deadline=250.0, makespans={"NFT": 150.0, "MXR": 230.0, "MX": 260.0}
+        )
+        text = format_cruise(result)
+        assert "MISSED" in text
+        assert "meets deadline" in text
+        assert "overhead" in text
+        assert result.meets_deadline("MXR")
+        assert not result.meets_deadline("MX")
+        assert result.overhead_pct("MXR") == pytest.approx(53.333, abs=0.01)

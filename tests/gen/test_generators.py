@@ -1,0 +1,148 @@
+"""Unit and property tests for the workload generators (paper §6)."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.gen.chains import chain_groups_structure
+from repro.gen.params import assign_message_sizes, assign_wcets
+from repro.gen.random_dag import random_structure
+from repro.gen.suite import TABLE1A_DIMENSIONS, generate_case, paper_suite
+from repro.gen.trees import tree_structure
+
+
+def _as_digraph(n, edges):
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(edges)
+    return g
+
+
+@given(
+    n=st.integers(min_value=1, max_value=60),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=40)
+def test_random_structure_is_acyclic(n, seed):
+    edges = random_structure(n, random.Random(seed))
+    g = _as_digraph(n, edges)
+    assert nx.is_directed_acyclic_graph(g)
+    assert all(src < n and dst < n for src, dst in edges)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=60),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=40)
+def test_random_structure_every_nonroot_reachable(n, seed):
+    edges = random_structure(n, random.Random(seed))
+    g = _as_digraph(n, edges)
+    roots = [v for v in g if g.in_degree(v) == 0]
+    reachable = set(roots)
+    for root in roots:
+        reachable |= nx.descendants(g, root)
+    assert reachable == set(range(n))
+
+
+@given(
+    n=st.integers(min_value=1, max_value=60),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=40)
+def test_tree_structure_is_a_tree(n, seed):
+    edges = tree_structure(n, random.Random(seed))
+    g = _as_digraph(n, edges)
+    assert nx.is_directed_acyclic_graph(g)
+    assert g.number_of_edges() == n - 1
+    # every non-root has exactly one parent
+    assert all(g.in_degree(v) == 1 for v in range(1, n))
+
+
+@given(
+    n=st.integers(min_value=1, max_value=60),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=40)
+def test_chain_groups_acyclic_and_bounded(n, seed):
+    edges = chain_groups_structure(n, random.Random(seed))
+    g = _as_digraph(n, edges)
+    assert nx.is_directed_acyclic_graph(g)
+    assert set(g) == set(range(n))
+
+
+class TestParams:
+    def test_wcets_within_range(self):
+        rng = random.Random(0)
+        for dist in ("uniform", "exponential"):
+            tables = assign_wcets(50, ("N1", "N2"), rng, dist)
+            for table in tables:
+                for value in table.values():
+                    assert 10.0 <= value <= 100.0
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ModelError):
+            assign_wcets(1, ("N1",), random.Random(0), "gaussian")
+
+    def test_message_sizes_in_range(self):
+        rng = random.Random(0)
+        sizes = assign_message_sizes([(0, 1), (1, 2)], rng)
+        assert all(1 <= s <= 4 for s in sizes.values())
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ModelError):
+            assign_wcets(1, ("N1",), random.Random(0), "uniform", (0.0, 5.0))
+        with pytest.raises(ModelError):
+            assign_message_sizes([(0, 1)], random.Random(0), (0, 3))
+
+
+class TestGenerateCase:
+    def test_paper_dimension_shape(self):
+        case = generate_case(20, 2, 3, mu=5.0, seed=0)
+        case.application.validate()
+        assert case.n_processes == 20
+        assert len(case.architecture) == 2
+        assert case.faults.k == 3
+        assert case.faults.mu == 5.0
+
+    def test_deterministic_per_seed(self):
+        a = generate_case(20, 2, 3, seed=4)
+        b = generate_case(20, 2, 3, seed=4)
+        ga, gb = a.application.graphs[0], b.application.graphs[0]
+        assert {n: p.wcet for n, p in ga.processes.items()} == {
+            n: p.wcet for n, p in gb.processes.items()
+        }
+
+    def test_workload_independent_of_fault_model(self):
+        """Crucial for Table 1b/1c: k and mu must not change the graphs."""
+        a = generate_case(20, 2, 2, mu=1.0, seed=4)
+        b = generate_case(20, 2, 8, mu=20.0, seed=4)
+        ga, gb = a.application.graphs[0], b.application.graphs[0]
+        assert sorted(ga.messages) == sorted(gb.messages)
+        assert {n: p.wcet for n, p in ga.processes.items()} == {
+            n: p.wcet for n, p in gb.processes.items()
+        }
+
+    def test_structure_and_distribution_mix_over_seeds(self):
+        structures = {generate_case(20, 2, 3, seed=s).structure for s in range(6)}
+        assert structures == {"random", "tree", "chains"}
+        distributions = {
+            generate_case(20, 2, 3, seed=s).distribution for s in range(6)
+        }
+        assert distributions == {"uniform", "exponential"}
+
+    def test_explicit_structure_respected(self):
+        case = generate_case(15, 2, 3, seed=0, structure="tree")
+        assert case.structure == "tree"
+        graph = case.application.graphs[0]
+        assert len(graph.messages) == 14  # tree: n-1 edges
+
+    def test_paper_suite_dimensions(self):
+        cases = list(paper_suite(seeds=(0,)))
+        assert len(cases) == len(TABLE1A_DIMENSIONS)
+        sizes = [c.n_processes for c in cases]
+        assert sizes == [20, 40, 60, 80, 100]

@@ -1,0 +1,88 @@
+"""End-to-end integration: generate -> optimize -> schedule -> fault-inject.
+
+This is the load-bearing test of the whole reproduction: for a spread of
+dimensions and strategy variants, the synthesized schedule must survive
+fault injection (liveness + analytical bounds + deadlines).
+"""
+
+import pytest
+
+from repro.gen.suite import generate_case
+from repro.opt.strategy import OptimizationConfig, optimize
+from repro.sim.validate import validate_schedule
+
+FAST = OptimizationConfig(
+    minimize=True, rounds=2, greedy_max_iterations=10, tabu_max_iterations=6
+)
+
+
+@pytest.mark.parametrize(
+    "n,nodes,k,variant",
+    [
+        (8, 2, 1, "MXR"),
+        (12, 2, 2, "MXR"),
+        (12, 3, 3, "MX"),
+        (12, 3, 3, "MR"),
+        (16, 3, 2, "SFX"),
+        (16, 4, 4, "MXR"),
+        (20, 2, 5, "MR"),  # heavy co-location: k+1 replicas on 2 nodes
+    ],
+)
+def test_optimized_schedules_tolerate_k_faults(n, nodes, k, variant):
+    case = generate_case(n, nodes, k, mu=5.0, seed=7)
+    result = optimize(case.application, case.architecture, case.faults, variant, FAST)
+    report = validate_schedule(result.schedule, samples=120)
+    assert report.ok, report.violations[:5]
+
+
+def test_nft_schedule_valid_without_faults():
+    case = generate_case(12, 2, 2, mu=5.0, seed=1)
+    result = optimize(case.application, case.architecture, case.faults, "NFT", FAST)
+    report = validate_schedule(result.schedule)
+    assert report.ok
+    assert report.scenarios_checked == 1  # only the fault-free scenario
+
+
+def test_variant_quality_ordering_holds_on_average():
+    """MXR <= MX and MXR <= MR and MXR <= SFX, averaged over seeds."""
+    totals = {"MXR": 0.0, "MX": 0.0, "MR": 0.0, "SFX": 0.0}
+    for seed in (0, 1):
+        case = generate_case(14, 2, 2, mu=5.0, seed=seed)
+        for variant in totals:
+            result = optimize(
+                case.application, case.architecture, case.faults, variant, FAST
+            )
+            totals[variant] += result.makespan
+    assert totals["MXR"] <= totals["MX"] + 1e-6
+    assert totals["MXR"] <= totals["MR"] + 1e-6
+    assert totals["MXR"] <= totals["SFX"] + 1e-6
+
+
+def test_deadline_mode_end_to_end():
+    """With a generous deadline the optimizer stops early and validates."""
+    case = generate_case(10, 2, 2, mu=5.0, seed=2, deadline=100_000.0)
+    result = optimize(case.application, case.architecture, case.faults, "MXR")
+    assert result.is_schedulable
+    report = validate_schedule(result.schedule, samples=80)
+    assert report.ok
+
+
+def test_multirate_application_end_to_end():
+    """Two graphs with different periods merge and schedule correctly."""
+    from repro.model.application import Application, Process, ProcessGraph
+    from repro.model.architecture import homogeneous_architecture
+    from repro.model.fault import FaultModel
+
+    g1 = ProcessGraph("fast", period=100.0, deadline=100.0)
+    g1.add_process(Process("F1", {"N1": 10.0, "N2": 10.0}))
+    g1.add_process(Process("F2", {"N1": 10.0, "N2": 10.0}))
+    g1.connect("F1", "F2")
+    g2 = ProcessGraph("slow", period=200.0, deadline=200.0)
+    g2.add_process(Process("S1", {"N1": 15.0, "N2": 15.0}))
+    app = Application([g1, g2])
+    arch = homogeneous_architecture(2)
+    result = optimize(app, arch, FaultModel(k=1, mu=2.0), "MXR", FAST)
+    merged_names = set(result.merged)
+    assert {"F1@0", "F1@1", "S1"} <= merged_names
+    report = validate_schedule(result.schedule, samples=100)
+    assert report.ok

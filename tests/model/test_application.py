@@ -1,0 +1,174 @@
+"""Unit tests for the application model."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.application import Application, Message, Process, ProcessGraph, chain
+
+
+class TestProcess:
+    def test_basic_construction(self):
+        p = Process("P1", {"N1": 10.0, "N2": 20.0})
+        assert p.allowed_nodes == ("N1", "N2")
+        assert p.wcet_on("N1") == 10.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            Process("", {"N1": 1.0})
+
+    def test_empty_wcet_rejected(self):
+        with pytest.raises(ModelError):
+            Process("P1", {})
+
+    def test_non_positive_wcet_rejected(self):
+        with pytest.raises(ModelError):
+            Process("P1", {"N1": 0.0})
+        with pytest.raises(ModelError):
+            Process("P1", {"N1": -5.0})
+
+    def test_negative_release_rejected(self):
+        with pytest.raises(ModelError):
+            Process("P1", {"N1": 1.0}, release=-1.0)
+
+    def test_deadline_before_release_rejected(self):
+        with pytest.raises(ModelError):
+            Process("P1", {"N1": 1.0}, release=10.0, deadline=5.0)
+
+    def test_fixed_node_must_be_legal(self):
+        with pytest.raises(ModelError):
+            Process("P1", {"N1": 1.0}, fixed_node="N9")
+
+    def test_fixed_node_restricts_allowed(self):
+        p = Process("P1", {"N1": 1.0, "N2": 2.0}, fixed_node="N2")
+        assert p.allowed_nodes == ("N2",)
+
+    def test_unknown_fixed_policy_rejected(self):
+        with pytest.raises(ModelError):
+            Process("P1", {"N1": 1.0}, fixed_policy="checkpointing")
+
+    def test_wcet_on_illegal_node_raises(self):
+        p = Process("P1", {"N1": 1.0})
+        with pytest.raises(ModelError):
+            p.wcet_on("N2")
+
+
+class TestMessage:
+    def test_defaults(self):
+        m = Message("m1", "P1", "P2")
+        assert m.size == 1
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(ModelError):
+            Message("m1", "P1", "P2", size=0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ModelError):
+            Message("m1", "P1", "P1")
+
+
+class TestProcessGraph:
+    def _graph(self) -> ProcessGraph:
+        g = ProcessGraph("g")
+        g.add_process(Process("A", {"N1": 1.0}))
+        g.add_process(Process("B", {"N1": 2.0}))
+        g.add_process(Process("C", {"N1": 3.0}))
+        g.connect("A", "B", size=2)
+        g.connect("B", "C")
+        return g
+
+    def test_duplicate_process_rejected(self):
+        g = self._graph()
+        with pytest.raises(ModelError):
+            g.add_process(Process("A", {"N1": 1.0}))
+
+    def test_duplicate_edge_rejected(self):
+        g = self._graph()
+        with pytest.raises(ModelError):
+            g.connect("A", "B")
+
+    def test_message_to_unknown_process_rejected(self):
+        g = self._graph()
+        with pytest.raises(ModelError):
+            g.add_message(Message("mx", "A", "Z"))
+
+    def test_sources_and_sinks(self):
+        g = self._graph()
+        assert g.sources() == ["A"]
+        assert g.sinks() == ["C"]
+
+    def test_topological_order_respects_edges(self):
+        g = self._graph()
+        order = g.topological_order()
+        assert order.index("A") < order.index("B") < order.index("C")
+
+    def test_in_out_messages(self):
+        g = self._graph()
+        assert [m.name for m in g.in_messages("B")] == ["m_A_B"]
+        assert [m.name for m in g.out_messages("B")] == ["m_B_C"]
+        assert g.edge_message("A", "B").size == 2
+
+    def test_validate_rejects_cycle(self):
+        g = self._graph()
+        g.connect("C", "A")  # creates a cycle
+        with pytest.raises(ModelError):
+            g.validate()
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(ModelError):
+            ProcessGraph("empty").validate()
+
+    def test_deadline_exceeding_period_rejected(self):
+        with pytest.raises(ModelError):
+            ProcessGraph("g", period=10.0, deadline=20.0)
+
+    def test_chain_helper(self):
+        g = ProcessGraph("g")
+        procs = chain(["X", "Y", "Z"], {"N1": 1.0}, g)
+        assert len(procs) == 3
+        assert g.successors("X") == ["Y"]
+
+
+class TestApplication:
+    def test_hyperperiod_lcm(self):
+        g1 = ProcessGraph("g1", period=20.0)
+        g1.add_process(Process("A", {"N1": 1.0}))
+        g2 = ProcessGraph("g2", period=30.0)
+        g2.add_process(Process("B", {"N1": 1.0}))
+        app = Application([g1, g2])
+        assert app.hyperperiod() == 60.0
+
+    def test_hyperperiod_none_without_periods(self):
+        g = ProcessGraph("g")
+        g.add_process(Process("A", {"N1": 1.0}))
+        assert Application([g]).hyperperiod() is None
+
+    def test_duplicate_graph_rejected(self):
+        g = ProcessGraph("g")
+        g.add_process(Process("A", {"N1": 1.0}))
+        app = Application([g])
+        with pytest.raises(ModelError):
+            app.add_graph(ProcessGraph("g"))
+
+    def test_duplicate_process_across_graphs_rejected(self):
+        g1 = ProcessGraph("g1")
+        g1.add_process(Process("A", {"N1": 1.0}))
+        g2 = ProcessGraph("g2")
+        g2.add_process(Process("A", {"N1": 1.0}))
+        with pytest.raises(ModelError):
+            Application([g1, g2]).validate()
+
+    def test_largest_message_size(self):
+        g = ProcessGraph("g")
+        g.add_process(Process("A", {"N1": 1.0}))
+        g.add_process(Process("B", {"N1": 1.0}))
+        g.connect("A", "B", size=3)
+        assert Application([g]).largest_message_size() == 3
+
+    def test_largest_message_size_defaults_to_one(self):
+        g = ProcessGraph("g")
+        g.add_process(Process("A", {"N1": 1.0}))
+        assert Application([g]).largest_message_size() == 1
+
+    def test_empty_application_rejected(self):
+        with pytest.raises(ModelError):
+            Application([]).validate()

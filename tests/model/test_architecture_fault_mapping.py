@@ -1,0 +1,125 @@
+"""Unit tests for architecture, fault model and replica mapping."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.architecture import Architecture, Node, homogeneous_architecture
+from repro.model.fault import NO_FAULTS, FaultModel
+from repro.model.mapping import ReplicaMapping
+from repro.model.policy import Policy, PolicyAssignment
+from repro.ttp.bus import BusConfig
+
+
+class TestArchitecture:
+    def test_node_lookup(self):
+        arch = Architecture([Node("A"), Node("B")])
+        assert arch.node("A").name == "A"
+        assert "B" in arch
+        assert len(arch) == 2
+        assert arch.node_names == ("A", "B")
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(ModelError):
+            Architecture([Node("A"), Node("A")])
+
+    def test_empty_architecture_rejected(self):
+        with pytest.raises(ModelError):
+            Architecture([])
+
+    def test_unknown_node_raises(self):
+        arch = Architecture([Node("A")])
+        with pytest.raises(ModelError):
+            arch.node("Z")
+
+    def test_homogeneous_helper(self):
+        arch = homogeneous_architecture(4)
+        assert arch.node_names == ("N1", "N2", "N3", "N4")
+
+    def test_bus_must_match_nodes(self):
+        bus = BusConfig.minimal(("A", "B"), 4)
+        with pytest.raises(Exception):
+            Architecture([Node("A")], bus=bus)
+
+    def test_bus_accepted_when_matching(self):
+        bus = BusConfig.minimal(("A",), 4)
+        arch = Architecture([Node("A")], bus=bus)
+        assert arch.bus is bus
+
+
+class TestFaultModel:
+    def test_recovery_time_fig2a(self):
+        fm = FaultModel(k=2, mu=10.0)
+        # C=30: two re-executions cost 2 * (30 + 10) = 80 extra ms.
+        assert fm.recovery_time(30.0, 2) == 80.0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ModelError):
+            FaultModel(k=-1)
+
+    def test_negative_mu_rejected(self):
+        with pytest.raises(ModelError):
+            FaultModel(k=1, mu=-1.0)
+
+    def test_mu_with_zero_k_rejected(self):
+        with pytest.raises(ModelError):
+            FaultModel(k=0, mu=5.0)
+
+    def test_fault_free(self):
+        assert NO_FAULTS.fault_free
+        assert not FaultModel(k=1, mu=0.0).fault_free
+
+    def test_negative_reexecutions_rejected(self):
+        with pytest.raises(ModelError):
+            FaultModel(k=1, mu=1.0).recovery_time(10.0, -1)
+
+
+class TestReplicaMapping:
+    def test_assign_string_becomes_tuple(self):
+        m = ReplicaMapping()
+        m.assign("P1", "N1")
+        assert m["P1"] == ("N1",)
+        assert m.primary("P1") == "N1"
+
+    def test_replica_node_lookup(self):
+        m = ReplicaMapping({"P1": ("N1", "N2")})
+        assert m.replica_node("P1", 1) == "N2"
+        with pytest.raises(ModelError):
+            m.replica_node("P1", 5)
+
+    def test_unmapped_process_raises(self):
+        with pytest.raises(ModelError):
+            ReplicaMapping()["P1"]
+
+    def test_empty_tuple_rejected(self):
+        m = ReplicaMapping()
+        with pytest.raises(ModelError):
+            m.assign("P1", ())
+
+    def test_copy_is_independent(self):
+        m = ReplicaMapping({"P1": ("N1",)})
+        clone = m.copy()
+        clone.assign("P1", ("N2",))
+        assert m["P1"] == ("N1",)
+
+    def test_node_load(self):
+        m = ReplicaMapping({"P1": ("N1", "N2"), "P2": ("N1",)})
+        wcets = {"P1": {"N1": 10.0, "N2": 20.0}, "P2": {"N1": 5.0}}
+        load = m.node_load(wcets)
+        assert load == {"N1": 15.0, "N2": 20.0}
+
+    def test_validate_replica_count_mismatch(self):
+        m = ReplicaMapping({"P1": ("N1",)})
+        policies = PolicyAssignment({"P1": Policy.replication(1)})
+        with pytest.raises(ModelError):
+            m.validate_for(policies, {"P1": ("N1", "N2")})
+
+    def test_validate_illegal_node(self):
+        m = ReplicaMapping({"P1": ("N3",)})
+        policies = PolicyAssignment({"P1": Policy.reexecution(1)})
+        with pytest.raises(ModelError):
+            m.validate_for(policies, {"P1": ("N1", "N2")})
+
+    def test_validate_passes(self):
+        m = ReplicaMapping({"P1": ("N1", "N2")})
+        policies = PolicyAssignment({"P1": Policy.combined(2, 2)})
+        m.validate_for(policies, {"P1": ("N1", "N2")})

@@ -1,0 +1,146 @@
+"""Unit tests for the FT-extended execution graph."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.application import Application, Process, ProcessGraph
+from repro.model.fault import FaultModel
+from repro.model.ftgraph import build_ft_graph, instance_id
+from repro.model.mapping import ReplicaMapping
+from repro.model.merge import merge_application
+from repro.model.policy import Policy, PolicyAssignment
+
+
+def _merged_chain():
+    g = ProcessGraph("g")
+    g.add_process(Process("A", {"N1": 10.0, "N2": 12.0}))
+    g.add_process(Process("B", {"N1": 20.0, "N2": 22.0}))
+    g.connect("A", "B", size=2)
+    return merge_application(Application([g]))
+
+
+FAULTS = FaultModel(k=2, mu=5.0)
+
+
+def test_instance_id_format():
+    assert instance_id("P1", 0) == "P1:r0"
+
+
+def test_reexecution_explodes_to_one_instance_each():
+    merged = _merged_chain()
+    policies = PolicyAssignment.uniform(iter(["A", "B"]), Policy.reexecution(2))
+    mapping = ReplicaMapping({"A": ("N1",), "B": ("N2",)})
+    ft = build_ft_graph(merged, policies, mapping, FAULTS)
+    assert len(ft) == 2
+    assert ft.replicas("A") == ("A:r0",)
+    assert ft.instance("A:r0").reexecutions == 2
+    assert ft.instance("A:r0").kill_cost == 3
+
+
+def test_replication_explodes_to_k_plus_one_instances():
+    merged = _merged_chain()
+    policies = PolicyAssignment(
+        {"A": Policy.replication(2), "B": Policy.reexecution(2)}
+    )
+    mapping = ReplicaMapping({"A": ("N1", "N2", "N1"), "B": ("N2",)})
+    ft = build_ft_graph(merged, policies, mapping, FAULTS)
+    assert ft.replicas("A") == ("A:r0", "A:r1", "A:r2")
+    assert all(ft.instance(i).reexecutions == 0 for i in ft.replicas("A"))
+
+
+def test_input_groups_list_all_sender_replicas():
+    merged = _merged_chain()
+    policies = PolicyAssignment(
+        {"A": Policy.replication(2), "B": Policy.reexecution(2)}
+    )
+    mapping = ReplicaMapping({"A": ("N1", "N2", "N1"), "B": ("N2",)})
+    ft = build_ft_graph(merged, policies, mapping, FAULTS)
+    groups = ft.inputs_of("B:r0")
+    assert len(groups) == 1
+    assert groups[0].sources == ("A:r0", "A:r1", "A:r2")
+
+
+def test_bus_messages_masked_for_sole_replica():
+    merged = _merged_chain()
+    policies = PolicyAssignment.uniform(iter(["A", "B"]), Policy.reexecution(2))
+    mapping = ReplicaMapping({"A": ("N1",), "B": ("N2",)})
+    ft = build_ft_graph(merged, policies, mapping, FAULTS)
+    out = ft.outgoing_bus_messages("A:r0")
+    assert [m.kind for m in out] == ["masked"]
+    assert out[0].id == "m_A_B[A:r0]"
+
+
+def test_bus_messages_fast_for_plain_replicas():
+    merged = _merged_chain()
+    policies = PolicyAssignment(
+        {"A": Policy.replication(2), "B": Policy.reexecution(2)}
+    )
+    mapping = ReplicaMapping({"A": ("N1", "N2", "N1"), "B": ("N2",)})
+    ft = build_ft_graph(merged, policies, mapping, FAULTS)
+    kinds = {m.id: m.kind for i in ft.replicas("A") for m in ft.outgoing_bus_messages(i)}
+    assert set(kinds.values()) == {"fast"}
+
+
+def test_bus_messages_fast_plus_guaranteed_for_reexecuted_replicas():
+    merged = _merged_chain()
+    policies = PolicyAssignment(
+        {"A": Policy.combined(2, 2), "B": Policy.reexecution(2)}
+    )
+    mapping = ReplicaMapping({"A": ("N1", "N2"), "B": ("N2",)})
+    ft = build_ft_graph(merged, policies, mapping, FAULTS)
+    kinds_r0 = sorted(m.kind for m in ft.outgoing_bus_messages("A:r0"))
+    kinds_r1 = sorted(m.kind for m in ft.outgoing_bus_messages("A:r1"))
+    # r0 carries the re-execution (e=(1,0)): fast + guaranteed frames.
+    assert kinds_r0 == ["fast", "guaranteed"]
+    # r1 is co-located with B's node? (N2) -> no remote receiver, no frames,
+    # unless B has replicas elsewhere; B lives on N2 only, so r1 sends none.
+    assert kinds_r1 == []
+
+
+def test_no_bus_message_when_colocated():
+    merged = _merged_chain()
+    policies = PolicyAssignment.uniform(iter(["A", "B"]), Policy.reexecution(2))
+    mapping = ReplicaMapping({"A": ("N1",), "B": ("N1",)})
+    ft = build_ft_graph(merged, policies, mapping, FAULTS)
+    assert ft.outgoing_bus_messages("A:r0") == []
+
+
+def test_policy_not_tolerating_k_rejected():
+    merged = _merged_chain()
+    policies = PolicyAssignment.uniform(iter(["A", "B"]), Policy.reexecution(1))
+    mapping = ReplicaMapping({"A": ("N1",), "B": ("N2",)})
+    with pytest.raises(ModelError):
+        build_ft_graph(merged, policies, mapping, FAULTS)
+
+
+def test_mapping_policy_mismatch_rejected():
+    merged = _merged_chain()
+    policies = PolicyAssignment(
+        {"A": Policy.replication(2), "B": Policy.reexecution(2)}
+    )
+    mapping = ReplicaMapping({"A": ("N1",), "B": ("N2",)})
+    with pytest.raises(ModelError):
+        build_ft_graph(merged, policies, mapping, FAULTS)
+
+
+def test_topological_order_respects_dependencies():
+    merged = _merged_chain()
+    policies = PolicyAssignment(
+        {"A": Policy.replication(2), "B": Policy.reexecution(2)}
+    )
+    mapping = ReplicaMapping({"A": ("N1", "N2", "N1"), "B": ("N2",)})
+    ft = build_ft_graph(merged, policies, mapping, FAULTS)
+    order = ft.topological_order()
+    for a_replica in ft.replicas("A"):
+        assert order.index(a_replica) < order.index("B:r0")
+
+
+def test_unknown_instance_raises():
+    merged = _merged_chain()
+    policies = PolicyAssignment.uniform(iter(["A", "B"]), Policy.reexecution(2))
+    mapping = ReplicaMapping({"A": ("N1",), "B": ("N2",)})
+    ft = build_ft_graph(merged, policies, mapping, FAULTS)
+    with pytest.raises(ModelError):
+        ft.instance("nope:r0")
+    with pytest.raises(ModelError):
+        ft.replicas("nope")

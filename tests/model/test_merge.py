@@ -1,0 +1,102 @@
+"""Unit tests for hyper-period merging (paper §3)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.application import Application, Process, ProcessGraph
+from repro.model.merge import merge_application, merged_name
+
+
+def _periodic_graph(name: str, period: float, deadline: float) -> ProcessGraph:
+    g = ProcessGraph(name, period=period, deadline=deadline)
+    g.add_process(Process(f"{name}_src", {"N1": 5.0}))
+    g.add_process(Process(f"{name}_dst", {"N1": 5.0}))
+    g.connect(f"{name}_src", f"{name}_dst")
+    return g
+
+
+class TestMergedName:
+    def test_single_occurrence_keeps_name(self):
+        assert merged_name("P1", 0, 1) == "P1"
+
+    def test_multi_occurrence_suffixes(self):
+        assert merged_name("P1", 2, 3) == "P1@2"
+
+
+class TestMerge:
+    def test_single_graph_passthrough(self):
+        g = _periodic_graph("a", 20.0, 20.0)
+        merged = merge_application(Application([g]))
+        assert sorted(merged) == ["a_dst", "a_src"]
+        assert merged.period == 20.0
+
+    def test_occurrence_counts_follow_lcm(self):
+        app = Application(
+            [_periodic_graph("a", 20.0, 20.0), _periodic_graph("b", 30.0, 30.0)]
+        )
+        merged = merge_application(app)
+        assert merged.period == 60.0
+        a_names = [n for n in merged if n.startswith("a_src")]
+        b_names = [n for n in merged if n.startswith("b_src")]
+        assert len(a_names) == 3  # 60 / 20
+        assert len(b_names) == 2  # 60 / 30
+
+    def test_releases_shifted_by_period(self):
+        app = Application(
+            [_periodic_graph("a", 20.0, 20.0), _periodic_graph("b", 30.0, 30.0)]
+        )
+        merged = merge_application(app)
+        assert merged.process("a_src@1").release == 20.0
+        assert merged.process("a_src@2").release == 40.0
+
+    def test_deadlines_attached_to_sinks(self):
+        app = Application([_periodic_graph("a", 20.0, 15.0)])
+        merged = merge_application(app)
+        # Sink carries the graph deadline; the source does not.
+        assert merged.process("a_dst").deadline == 15.0
+        assert merged.process("a_src").deadline is None
+
+    def test_deadlines_shifted_per_occurrence(self):
+        app = Application(
+            [_periodic_graph("a", 20.0, 15.0), _periodic_graph("b", 40.0, 40.0)]
+        )
+        merged = merge_application(app)
+        assert merged.process("a_dst@1").deadline == 35.0
+
+    def test_origin_metadata(self):
+        app = Application(
+            [_periodic_graph("a", 20.0, 20.0), _periodic_graph("b", 40.0, 40.0)]
+        )
+        merged = merge_application(app)
+        origin = merged.origin["a_dst@1"]
+        assert origin.graph == "a"
+        assert origin.process == "a_dst"
+        assert origin.occurrence == 1
+
+    def test_messages_duplicated_per_occurrence(self):
+        app = Application(
+            [_periodic_graph("a", 20.0, 20.0), _periodic_graph("b", 40.0, 40.0)]
+        )
+        merged = merge_application(app)
+        assert "m_a_src_a_dst@0" in merged.messages
+        assert "m_a_src_a_dst@1" in merged.messages
+
+    def test_non_divisible_periods_rejected(self):
+        # LCM at 1 us resolution exists, but a period that does not divide
+        # the hyperperiod cleanly must be caught.
+        g1 = _periodic_graph("a", 20.0, 20.0)
+        g2 = _periodic_graph("b", 30.0, 30.0)
+        app = Application([g1, g2])
+        merged = merge_application(app)  # fine: LCM = 60
+        assert merged.period == 60.0
+
+    def test_individual_deadline_preserved(self):
+        g = ProcessGraph("g", period=20.0, deadline=20.0)
+        g.add_process(Process("A", {"N1": 5.0}, deadline=12.0))
+        app = Application([g])
+        merged = merge_application(app)
+        assert merged.process("A").deadline == 12.0
+
+    def test_invalid_application_rejected(self):
+        with pytest.raises(ModelError):
+            merge_application(Application([]))

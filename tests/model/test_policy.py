@@ -1,0 +1,138 @@
+"""Unit and property tests for fault-tolerance policies (paper Fig. 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.model.policy import Policy, PolicyAssignment
+
+
+class TestPolicyConstructors:
+    def test_reexecution_fig2a(self):
+        p = Policy.reexecution(2)
+        assert p.n_replicas == 1
+        assert p.reexecutions == (2,)
+        assert p.is_pure_reexecution
+        assert not p.is_pure_replication
+        assert p.total_executions == 3
+
+    def test_replication_fig2b(self):
+        p = Policy.replication(2)
+        assert p.n_replicas == 3
+        assert p.reexecutions == (0, 0, 0)
+        assert p.is_pure_replication
+        assert p.total_executions == 3
+
+    def test_combined_fig2c(self):
+        p = Policy.combined(2, k=2)
+        assert p.n_replicas == 2
+        assert p.reexecutions == (1, 0)  # P1/1 re-executed once, P1/2 plain
+        assert not p.is_pure_reexecution
+        assert not p.is_pure_replication
+
+    def test_combined_degenerates_to_reexecution(self):
+        assert Policy.combined(1, k=3) == Policy.reexecution(3)
+
+    def test_combined_degenerates_to_replication(self):
+        assert Policy.combined(4, k=3) == Policy.replication(3)
+
+    def test_combined_rejects_too_many_replicas(self):
+        with pytest.raises(ModelError):
+            Policy.combined(5, k=3)
+
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(ModelError):
+            Policy(n_replicas=0, reexecutions=())
+
+    def test_vector_length_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            Policy(n_replicas=2, reexecutions=(1,))
+
+    def test_negative_reexecutions_rejected(self):
+        with pytest.raises(ModelError):
+            Policy(n_replicas=1, reexecutions=(-1,))
+
+
+class TestPolicySemantics:
+    def test_kill_cost(self):
+        p = Policy.combined(2, k=2)
+        assert p.kill_cost(0) == 2  # one re-execution + the original
+        assert p.kill_cost(1) == 1
+
+    def test_tolerates(self):
+        assert Policy.reexecution(3).tolerates(3)
+        assert not Policy.reexecution(2).tolerates(3)
+
+    def test_validate_for_raises_on_insufficient(self):
+        with pytest.raises(ModelError):
+            Policy.reexecution(1).validate_for(2)
+
+    def test_describe(self):
+        assert Policy.reexecution(2).describe() == "X(e=2)"
+        assert Policy.replication(2).describe() == "R(r=3)"
+        assert Policy.combined(2, 2).describe().startswith("XR(")
+
+
+@given(k=st.integers(min_value=0, max_value=12))
+def test_reexecution_always_tolerates_k(k):
+    Policy.reexecution(k).validate_for(k)
+
+
+@given(k=st.integers(min_value=0, max_value=12))
+def test_replication_always_tolerates_k(k):
+    Policy.replication(k).validate_for(k)
+
+
+@given(
+    k=st.integers(min_value=0, max_value=12),
+    data=st.data(),
+)
+def test_combined_exactly_k_plus_one_executions(k, data):
+    """Every combined policy uses the minimal k+1 executions (no waste)."""
+    r = data.draw(st.integers(min_value=1, max_value=k + 1))
+    policy = Policy.combined(r, k)
+    assert policy.total_executions == k + 1
+    policy.validate_for(k)
+    # Even distribution: counts differ by at most one.
+    assert max(policy.reexecutions) - min(policy.reexecutions) <= 1
+
+
+@given(
+    k=st.integers(min_value=1, max_value=10),
+    data=st.data(),
+)
+def test_kill_costs_price_the_whole_group_above_k(k, data):
+    """An adversary can never kill every replica with only k faults."""
+    r = data.draw(st.integers(min_value=1, max_value=k + 1))
+    policy = Policy.combined(r, k)
+    total_kill_cost = sum(policy.kill_cost(j) for j in range(policy.n_replicas))
+    assert total_kill_cost > k
+
+
+class TestPolicyAssignment:
+    def test_get_set(self):
+        pa = PolicyAssignment()
+        pa["P1"] = Policy.reexecution(2)
+        assert pa["P1"].is_pure_reexecution
+        assert "P1" in pa
+        assert len(pa) == 1
+
+    def test_missing_process_raises(self):
+        with pytest.raises(ModelError):
+            PolicyAssignment()["nope"]
+
+    def test_copy_is_independent(self):
+        pa = PolicyAssignment({"P1": Policy.reexecution(1)})
+        clone = pa.copy()
+        clone["P1"] = Policy.replication(1)
+        assert pa["P1"].is_pure_reexecution
+
+    def test_uniform(self):
+        pa = PolicyAssignment.uniform(iter(["A", "B"]), Policy.reexecution(1))
+        assert len(pa) == 2
+
+    def test_validate_for(self):
+        pa = PolicyAssignment({"P1": Policy.reexecution(1)})
+        with pytest.raises(ModelError):
+            pa.validate_for(3)

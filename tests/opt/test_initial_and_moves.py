@@ -1,0 +1,193 @@
+"""Unit tests for InitialMPA, replica placement, and move generation."""
+
+from repro.model.application import Application, Process, ProcessGraph
+from repro.model.architecture import homogeneous_architecture
+from repro.model.fault import NO_FAULTS, FaultModel
+from repro.model.merge import merge_application
+from repro.model.policy import Policy
+from repro.opt.initial import (
+    initial_bus_access,
+    initial_mpa,
+    initial_policy_for,
+    place_replicas,
+)
+from repro.opt.moves import generate_moves
+
+from tests.conftest import make_graph
+
+FAULTS = FaultModel(k=2, mu=5.0)
+
+
+class TestInitialBusAccess:
+    def test_minimal_slots_match_largest_message(self):
+        graph = make_graph(
+            {"A": {"N1": 1.0}, "B": {"N1": 1.0}}, [("A", "B", 3)]
+        )
+        app = Application([graph])
+        arch = homogeneous_architecture(2)
+        bus = initial_bus_access(app, arch, ms_per_byte=2.0)
+        assert bus.slot_order == ("N1", "N2")
+        assert bus.slot_lengths["N1"] == 6.0
+
+
+class TestInitialPolicy:
+    def test_p_plus_gets_requested_default(self):
+        p = Process("P", {"N1": 1.0})
+        assert initial_policy_for(p, FAULTS, 1) == Policy.reexecution(2)
+        assert initial_policy_for(p, FAULTS, 3) == Policy.replication(2)
+
+    def test_fixed_sets_win(self):
+        px = Process("P", {"N1": 1.0}, fixed_policy="reexecution")
+        pr = Process("P", {"N1": 1.0}, fixed_policy="replication")
+        assert initial_policy_for(px, FAULTS, 3) == Policy.reexecution(2)
+        assert initial_policy_for(pr, FAULTS, 1) == Policy.replication(2)
+
+    def test_fault_free_collapses(self):
+        p = Process("P", {"N1": 1.0}, fixed_policy="replication")
+        assert initial_policy_for(p, NO_FAULTS, 1) == Policy.reexecution(0)
+
+
+class TestPlaceReplicas:
+    def test_distinct_nodes_preferred(self):
+        p = Process("P", {"N1": 10.0, "N2": 10.0, "N3": 10.0})
+        nodes = place_replicas(p, 3, "N2", load={})
+        assert nodes[0] == "N2"
+        assert sorted(nodes) == ["N1", "N2", "N3"]
+
+    def test_load_breaks_ties(self):
+        p = Process("P", {"N1": 10.0, "N2": 10.0, "N3": 10.0})
+        nodes = place_replicas(p, 2, "N1", load={"N2": 100.0, "N3": 0.0})
+        assert nodes == ("N1", "N3")
+
+    def test_colocation_when_not_enough_nodes(self):
+        p = Process("P", {"N1": 10.0, "N2": 10.0})
+        nodes = place_replicas(p, 4, "N1", load={})
+        assert len(nodes) == 4
+        assert set(nodes) == {"N1", "N2"}
+
+
+class TestInitialMPA:
+    def _merged(self):
+        graph = make_graph(
+            {
+                "A": {"N1": 10.0, "N2": 10.0},
+                "B": {"N1": 50.0, "N2": 50.0},
+                "C": {"N1": 50.0, "N2": 50.0},
+            },
+            [("A", "B"), ("A", "C")],
+        )
+        return merge_application(Application([graph]))
+
+    def test_assigns_reexecution_to_p_plus(self):
+        arch = homogeneous_architecture(2)
+        app = Application([make_graph({"A": {"N1": 1.0, "N2": 1.0}})])
+        merged = merge_application(app)
+        impl = initial_mpa(merged, arch, FAULTS, initial_bus_access(app, arch))
+        assert impl.policies["A"] == Policy.reexecution(2)
+
+    def test_balances_load(self):
+        merged = self._merged()
+        arch = homogeneous_architecture(2)
+        bus = initial_bus_access(Application([]), arch) if False else None
+        from repro.ttp.bus import BusConfig
+
+        bus = BusConfig.minimal(arch.node_names, 4)
+        impl = initial_mpa(merged, arch, FAULTS, bus)
+        # The two heavy processes must not share a node.
+        assert impl.mapping.primary("B") != impl.mapping.primary("C")
+
+    def test_respects_pre_mapped(self):
+        graph = make_graph({"A": {"N1": 10.0, "N2": 1.0}})
+        graph.processes  # noqa: touch
+        g = ProcessGraph("g")
+        g.add_process(Process("A", {"N1": 10.0, "N2": 1.0}, fixed_node="N1"))
+        merged = merge_application(Application([g]))
+        arch = homogeneous_architecture(2)
+        from repro.ttp.bus import BusConfig
+
+        impl = initial_mpa(merged, arch, FAULTS, BusConfig.minimal(arch.node_names, 4))
+        assert impl.mapping.primary("A") == "N1"
+
+
+class TestMoves:
+    def _impl(self, fixed_node=None, fixed_policy=None):
+        g = ProcessGraph("g")
+        g.add_process(
+            Process(
+                "A",
+                {"N1": 10.0, "N2": 10.0, "N3": 10.0},
+                fixed_node=fixed_node,
+                fixed_policy=fixed_policy,
+            )
+        )
+        merged = merge_application(Application([g]))
+        arch = homogeneous_architecture(3)
+        from repro.ttp.bus import BusConfig
+
+        bus = BusConfig.minimal(arch.node_names, 4)
+        return merged, initial_mpa(merged, arch, FAULTS, bus)
+
+    def test_remap_and_policy_moves_generated(self):
+        merged, impl = self._impl()
+        moves = generate_moves(merged, FAULTS, impl, ["A"], replica_counts=(1, 2, 3))
+        kinds = {m.kind for m in moves}
+        assert "remap" in kinds
+        assert "policy" in kinds
+        # Remaps to the two other nodes.
+        assert sum(1 for m in moves if m.kind == "remap") == 2
+        # Policies r=2 and r=3 (r=1 is current).
+        assert sum(1 for m in moves if m.kind == "policy") == 2
+
+    def test_fixed_node_suppresses_remaps(self):
+        merged, impl = self._impl(fixed_node="N1")
+        moves = generate_moves(merged, FAULTS, impl, ["A"], replica_counts=(1, 2, 3))
+        assert all(m.kind != "remap" for m in moves)
+
+    def test_fixed_policy_suppresses_policy_moves(self):
+        merged, impl = self._impl(fixed_policy="reexecution")
+        moves = generate_moves(merged, FAULTS, impl, ["A"], replica_counts=(1, 2, 3))
+        assert all(m.kind != "policy" for m in moves)
+
+    def test_replica_remap_for_replicated_process(self):
+        merged, impl = self._impl()
+        impl.policies["A"] = Policy.combined(2, 2)
+        impl.mapping.assign("A", ("N1", "N2"))
+        moves = generate_moves(merged, FAULTS, impl, ["A"], replica_counts=(2,))
+        replica_moves = [m for m in moves if m.kind == "replica-remap"]
+        assert len(replica_moves) == 1
+        assert replica_moves[0].nodes == ("N1", "N3")
+
+    def test_moves_never_reproduce_current_design(self):
+        merged, impl = self._impl()
+        moves = generate_moves(merged, FAULTS, impl, ["A"], replica_counts=(1, 2, 3))
+        current = (impl.mapping["A"], impl.policies["A"])
+        for move in moves:
+            assert (move.nodes, move.policy) != current
+
+    def test_apply_returns_new_implementation(self):
+        merged, impl = self._impl()
+        moves = generate_moves(merged, FAULTS, impl, ["A"], replica_counts=(1, 2, 3))
+        new = moves[0].apply(impl)
+        assert new is not impl
+        assert impl.mapping["A"] == ("N1",)  # original untouched
+
+    def test_checkpoint_segment_moves_generated(self):
+        merged, impl = self._impl()
+        moves = generate_moves(
+            merged, FAULTS, impl, ["A"],
+            replica_counts=(1,), checkpoint_segments=(2, 4),
+        )
+        checkpointed = [m for m in moves if m.policy.checkpoints > 0]
+        assert {m.policy.checkpoints for m in checkpointed} == {2, 4}
+        # Checkpointing keeps the current primary node and one replica.
+        for move in checkpointed:
+            assert move.nodes == (impl.mapping.primary("A"),)
+            assert move.policy.n_replicas == 1
+
+    def test_checkpoint_moves_respect_fixed_policy(self):
+        merged, impl = self._impl(fixed_policy="replication")
+        moves = generate_moves(
+            merged, FAULTS, impl, ["A"],
+            replica_counts=(3,), checkpoint_segments=(2,),
+        )
+        assert all(m.policy.checkpoints == 0 for m in moves)

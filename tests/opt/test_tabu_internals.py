@@ -1,0 +1,84 @@
+"""White-box tests for the tabu search selective history (paper Fig. 9)."""
+
+from repro.opt.cost import Cost
+from repro.opt.moves import Move
+from repro.opt.tabu import _select_move, _update_history
+from repro.model.policy import Policy
+
+
+def _move(process: str) -> Move:
+    return Move(
+        process=process,
+        nodes=("N1",),
+        policy=Policy.reexecution(1),
+        kind="remap",
+    )
+
+
+def _cost(makespan: float) -> Cost:
+    return Cost(schedulable=True, degree=0.0, makespan=makespan)
+
+
+class TestSelectMove:
+    def test_best_non_tabu_improving_selected(self):
+        evaluated = [(_move("A"), _cost(100.0)), (_move("B"), _cost(90.0))]
+        tabu = {"A": 0, "B": 0}
+        wait = {"A": 0, "B": 0}
+        chosen = _select_move(evaluated, tabu, wait, _cost(95.0), graph_size=10)
+        assert chosen is not None
+        assert chosen[0].process == "B"
+
+    def test_tabu_move_skipped_unless_aspired(self):
+        evaluated = [(_move("A"), _cost(90.0)), (_move("B"), _cost(100.0))]
+        tabu = {"A": 3, "B": 0}
+        wait = {"A": 0, "B": 0}
+        # A is tabu and does NOT beat the best-so-far (85): select B even
+        # though it is worse.
+        chosen = _select_move(evaluated, tabu, wait, _cost(85.0), graph_size=10)
+        assert chosen[0].process == "B"
+
+    def test_aspiration_accepts_tabu_move_beating_best(self):
+        evaluated = [(_move("A"), _cost(80.0)), (_move("B"), _cost(100.0))]
+        tabu = {"A": 3, "B": 0}
+        wait = {"A": 0, "B": 0}
+        chosen = _select_move(evaluated, tabu, wait, _cost(85.0), graph_size=10)
+        assert chosen[0].process == "A"  # tabu but better than best-so-far
+
+    def test_diversification_preferred_over_non_improving(self):
+        evaluated = [(_move("A"), _cost(100.0)), (_move("B"), _cost(99.0))]
+        tabu = {"A": 0, "B": 0}
+        wait = {"A": 50, "B": 0}  # A has waited longer than |graph|=10
+        chosen = _select_move(evaluated, tabu, wait, _cost(85.0), graph_size=10)
+        assert chosen[0].process == "A"
+
+    def test_everything_tabu_falls_back_to_best_overall(self):
+        evaluated = [(_move("A"), _cost(100.0)), (_move("B"), _cost(99.0))]
+        tabu = {"A": 3, "B": 3}
+        wait = {"A": 0, "B": 0}
+        chosen = _select_move(evaluated, tabu, wait, _cost(85.0), graph_size=10)
+        assert chosen[0].process == "B"
+
+    def test_empty_neighbourhood(self):
+        assert _select_move([], {}, {}, _cost(1.0), 10) is None
+
+
+class TestUpdateHistory:
+    def test_moved_process_stamped(self):
+        tabu = {"A": 0, "B": 2}
+        wait = {"A": 5, "B": 1}
+        _update_history(tabu, wait, "A", tenure=4)
+        assert tabu["A"] == 4
+        assert wait["A"] == 0
+
+    def test_others_decay_and_age(self):
+        tabu = {"A": 0, "B": 2}
+        wait = {"A": 5, "B": 1}
+        _update_history(tabu, wait, "A", tenure=4)
+        assert tabu["B"] == 1  # decremented
+        assert wait["B"] == 2  # aged
+
+    def test_zero_tabu_stays_zero(self):
+        tabu = {"A": 0, "B": 0}
+        wait = {"A": 0, "B": 0}
+        _update_history(tabu, wait, "B", tenure=2)
+        assert tabu["A"] == 0

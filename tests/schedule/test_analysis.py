@@ -1,0 +1,211 @@
+"""Unit and property tests for the worst-case fault analysis (paper Figs. 2/3/7)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError
+from repro.model.fault import FaultModel
+from repro.model.ftgraph import Instance
+from repro.schedule.analysis import (
+    WorstCaseAnalyzer,
+    group_guaranteed_arrival,
+    guaranteed_completion,
+)
+
+
+def _instance(iid, node, wcet, reexec, release=0.0) -> Instance:
+    return Instance(
+        id=iid,
+        process=iid.split(":")[0],
+        replica=0,
+        node=node,
+        wcet=wcet,
+        reexecutions=reexec,
+        release=release,
+    )
+
+
+class TestGroupGuaranteedArrival:
+    def test_single_source(self):
+        assert group_guaranteed_arrival([(10.0, 3)], budget=2) == 10.0
+
+    def test_kill_prefix(self):
+        arrivals = [(10.0, 1), (20.0, 1), (30.0, 1)]
+        assert group_guaranteed_arrival(arrivals, budget=0) == 10.0
+        assert group_guaranteed_arrival(arrivals, budget=1) == 20.0
+        assert group_guaranteed_arrival(arrivals, budget=2) == 30.0
+
+    def test_last_always_survives(self):
+        arrivals = [(10.0, 1), (20.0, 1)]
+        assert group_guaranteed_arrival(arrivals, budget=99) == 20.0
+
+    def test_expensive_first_blocks_prefix(self):
+        # Killing the late-arriving source without the early one gains nothing,
+        # so an unaffordable first source pins the arrival.
+        arrivals = [(10.0, 3), (20.0, 1)]
+        assert group_guaranteed_arrival(arrivals, budget=2) == 10.0
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(SchedulingError):
+            group_guaranteed_arrival([], budget=1)
+
+
+class TestChainDP:
+    def test_fig2a_single_process(self):
+        """C=30, k=2, mu=10: worst finish 30 + 2*(30+10) = 110 (paper Fig. 2a)."""
+        analyzer = WorstCaseAnalyzer(FaultModel(k=2, mu=10.0))
+        result = analyzer.place(_instance("P1:r0", "N1", 30.0, 2), [0.0, 0.0, 0.0])
+        assert result.finish_row == (30.0, 70.0, 110.0)
+        assert result.wcf == 110.0
+
+    def test_slack_sharing_two_processes(self):
+        """P1 (C=40) then P2 (C=60) on one node, k=1, mu=10.
+
+        The shared worst case is a fault in P2 after a fault-free P1:
+        100 + 70 = 170; a fault in P1 gives only 90 + 60 = 150.
+        """
+        analyzer = WorstCaseAnalyzer(FaultModel(k=1, mu=10.0))
+        r1 = analyzer.place(_instance("P1:r0", "N1", 40.0, 1), [0.0, 0.0])
+        assert r1.finish_row == (40.0, 90.0)
+        r2 = analyzer.place(_instance("P2:r0", "N1", 60.0, 1), [0.0, 0.0])
+        assert r2.finish_row == (100.0, 170.0)
+
+    def test_slack_sharing_order_matters(self):
+        """Long process first: fault in P1 delays P2 more than P2's own fault."""
+        analyzer = WorstCaseAnalyzer(FaultModel(k=1, mu=10.0))
+        analyzer.place(_instance("P1:r0", "N1", 60.0, 1), [0.0, 0.0])
+        r2 = analyzer.place(_instance("P2:r0", "N1", 40.0, 1), [0.0, 0.0])
+        # Fault in P1: P1 ends 130, P2 ends 170.  Fault in P2: 100 + 50 = 150.
+        assert r2.finish_row == (100.0, 170.0)
+
+    def test_shared_slack_less_than_sum_of_slacks(self):
+        """Sharing: the node-level slack is max-based, not sum-based."""
+        analyzer = WorstCaseAnalyzer(FaultModel(k=1, mu=10.0))
+        analyzer.place(_instance("P1:r0", "N1", 40.0, 1), [0.0, 0.0])
+        r2 = analyzer.place(_instance("P2:r0", "N1", 60.0, 1), [0.0, 0.0])
+        sum_of_slacks = 100.0 + (40.0 + 10.0) + (60.0 + 10.0)
+        assert r2.wcf < sum_of_slacks
+
+    def test_release_gap_absorbs_reexecution(self):
+        """A fault before an input-wait gap is absorbed by the gap."""
+        analyzer = WorstCaseAnalyzer(FaultModel(k=1, mu=10.0))
+        r1 = analyzer.place(_instance("P1:r0", "N1", 20.0, 1), [0.0, 0.0])
+        assert r1.wcf == 50.0
+        # P2 released at 100 >> P1's worst case: P1's fault cannot delay it.
+        r2 = analyzer.place(_instance("P2:r0", "N1", 30.0, 1), [100.0, 100.0])
+        assert r2.finish_row == (130.0, 170.0)
+
+    def test_budgets_are_monotone(self):
+        analyzer = WorstCaseAnalyzer(FaultModel(k=3, mu=5.0))
+        result = analyzer.place(
+            _instance("P1:r0", "N1", 25.0, 3), [0.0, 0.0, 0.0, 0.0]
+        )
+        row = result.finish_row
+        assert all(row[i] <= row[i + 1] for i in range(len(row) - 1))
+
+    def test_zero_reexec_instance_still_shifted_by_chain(self):
+        """A replica with e=0 inherits chain delays but adds no slack."""
+        analyzer = WorstCaseAnalyzer(FaultModel(k=2, mu=10.0))
+        analyzer.place(_instance("P1:r0", "N1", 30.0, 2), [0.0, 0.0, 0.0])
+        r2 = analyzer.place(_instance("P2:r0", "N1", 10.0, 0), [0.0, 0.0, 0.0])
+        assert r2.finish_row == (40.0, 80.0, 120.0)
+
+    def test_tail_covers_terminal_kill(self):
+        """The chain tail includes the killed-replica occupancy (+mu)."""
+        analyzer = WorstCaseAnalyzer(FaultModel(k=1, mu=10.0))
+        result = analyzer.place(_instance("P1:r0", "N1", 30.0, 0), [0.0, 0.0])
+        # Killed: one failed attempt occupies C + mu = 40.
+        assert result.tail_row == (30.0, 40.0)
+
+    def test_fig7_contingency_without_slack(self):
+        """Replica descendants: the contingency schedule carries no extra slack.
+
+        P2 is replicated on N1/N2 (k=1); P3 runs on N1 right after the local
+        replica.  Worst case is the larger of: (a) P3's own re-execution from
+        the root start, (b) starting from the remote replica's message with
+        no further slack (the fault was consumed killing the local replica).
+        """
+        analyzer = WorstCaseAnalyzer(FaultModel(k=1, mu=10.0))
+        local = analyzer.place(_instance("P2:r0", "N1", 40.0, 0), [0.0, 0.0])
+        assert local.root_finish == 40.0
+        # rel row of P3: budget 0 -> local finish 40; budget 1 -> remote
+        # message arrival 90 (the local replica was killed).
+        p3 = analyzer.place(_instance("P3:r0", "N1", 50.0, 1), [40.0, 90.0])
+        own_reexec = 40.0 + 50.0 + (50.0 + 10.0)  # (a) = 150
+        contingency = 90.0 + 50.0  # (b) = 140, no slack left
+        assert p3.wcf == max(own_reexec, contingency) == 150.0
+
+    def test_fig7_contingency_dominates_when_remote_late(self):
+        analyzer = WorstCaseAnalyzer(FaultModel(k=1, mu=10.0))
+        analyzer.place(_instance("P2:r0", "N1", 40.0, 0), [0.0, 0.0])
+        p3 = analyzer.place(_instance("P3:r0", "N1", 50.0, 1), [40.0, 160.0])
+        assert p3.wcf == 160.0 + 50.0  # contingency start + C, no slack
+
+    def test_rel_row_length_checked(self):
+        analyzer = WorstCaseAnalyzer(FaultModel(k=2, mu=1.0))
+        with pytest.raises(SchedulingError):
+            analyzer.place(_instance("P1:r0", "N1", 5.0, 2), [0.0])
+
+    def test_nodes_are_independent(self):
+        analyzer = WorstCaseAnalyzer(FaultModel(k=1, mu=10.0))
+        analyzer.place(_instance("P1:r0", "N1", 40.0, 1), [0.0, 0.0])
+        other = analyzer.place(_instance("P2:r0", "N2", 20.0, 1), [0.0, 0.0])
+        assert other.finish_row == (20.0, 50.0)
+
+
+class TestGuaranteedCompletion:
+    def test_fig2a_reexecution(self):
+        assert guaranteed_completion([(110.0, 3)], budget=2) == 110.0
+
+    def test_fig2b_pure_replication(self):
+        # Three replicas finishing at 30 each on distinct idle nodes: the
+        # adversary kills two, the third still ends at 30.
+        assert guaranteed_completion([(30.0, 1), (30.0, 1), (30.0, 1)], 2) == 30.0
+
+    def test_staggered_replicas(self):
+        # Replicas end at 30/50/70; two kills force waiting for the last.
+        pairs = [(30.0, 1), (50.0, 1), (70.0, 1)]
+        assert guaranteed_completion(pairs, budget=2) == 70.0
+        assert guaranteed_completion(pairs, budget=1) == 50.0
+
+
+@given(
+    wcets=st.lists(
+        st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=6,
+    ),
+    reexecs=st.data(),
+    k=st.integers(min_value=0, max_value=4),
+    mu=st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+)
+def test_chain_dp_bounds(wcets, reexecs, k, mu):
+    """Properties of the chain DP on random chains.
+
+    * rows are monotone in the fault budget;
+    * the root finish equals the plain sum of WCETs (compact root schedule);
+    * the WCF never exceeds the naive per-process slack sum plus the extra
+      detection gap terminal kills may add (at most one µ per fault);
+    * tails dominate finishes.
+    """
+    if k == 0:
+        mu = 0.0
+    analyzer = WorstCaseAnalyzer(FaultModel(k=k, mu=mu))
+    zeros = [0.0] * (k + 1)
+    running_root = 0.0
+    naive = 0.0
+    for index, wcet in enumerate(wcets):
+        e = reexecs.draw(st.integers(min_value=0, max_value=k), label=f"e{index}")
+        result = analyzer.place(
+            _instance(f"P{index}:r0", "N1", wcet, e), list(zeros)
+        )
+        running_root += wcet
+        naive += wcet + min(e, k) * (wcet + mu)
+        row = result.finish_row
+        assert row[0] == pytest.approx(running_root)
+        assert all(row[i] <= row[i + 1] + 1e-9 for i in range(k))
+        assert row[k] <= naive + k * mu + 1e-6
+        assert all(
+            result.tail_row[q] >= row[q] - 1e-9 for q in range(k + 1)
+        )

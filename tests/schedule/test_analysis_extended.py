@@ -1,0 +1,134 @@
+"""Extended analysis properties: checkpointing, frames ordering, budgets."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.fault import FaultModel
+from repro.model.ftgraph import Instance
+from repro.model.policy import Policy
+from repro.schedule.analysis import WorstCaseAnalyzer
+from repro.ttp.bus import BusConfig
+
+from tests.conftest import make_graph, schedule_single_graph
+
+BUS2 = BusConfig(("N1", "N2"), {"N1": 10.0, "N2": 10.0}, ms_per_byte=5.0)
+
+
+def _instance(iid, wcet, reexec, checkpoints=0):
+    return Instance(
+        id=iid, process=iid.split(":")[0], replica=0, node="N1",
+        wcet=wcet, reexecutions=reexec, checkpoints=checkpoints,
+    )
+
+
+@given(
+    wcet=st.floats(min_value=5.0, max_value=100.0, allow_nan=False),
+    k=st.integers(min_value=1, max_value=5),
+    mu=st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+    segments=st.integers(min_value=2, max_value=8),
+)
+def test_checkpointing_never_increases_wcf_without_overhead(wcet, k, mu, segments):
+    """With zero checkpoint overhead, segment recovery only shrinks slack."""
+    plain = WorstCaseAnalyzer(FaultModel(k=k, mu=mu)).place(
+        _instance("P:r0", wcet, k), [0.0] * (k + 1)
+    )
+    checkpointed = WorstCaseAnalyzer(FaultModel(k=k, mu=mu)).place(
+        _instance("P:r0", wcet, k, checkpoints=segments), [0.0] * (k + 1)
+    )
+    assert checkpointed.wcf <= plain.wcf + 1e-9
+    # Root (fault-free) time is identical without overhead.
+    assert checkpointed.root_finish == pytest.approx(plain.root_finish)
+
+
+@given(
+    wcet=st.floats(min_value=5.0, max_value=100.0, allow_nan=False),
+    k=st.integers(min_value=1, max_value=5),
+    mu=st.floats(min_value=0.1, max_value=20.0, allow_nan=False),
+)
+def test_more_segments_monotonically_shrink_wcf(wcet, k, mu):
+    previous = None
+    for segments in (0, 2, 4, 8):
+        result = WorstCaseAnalyzer(FaultModel(k=k, mu=mu)).place(
+            _instance("P:r0", wcet, k, checkpoints=segments), [0.0] * (k + 1)
+        )
+        if previous is not None:
+            assert result.wcf <= previous + 1e-9
+        previous = result.wcf
+
+
+class TestFrameOrdering:
+    def test_guaranteed_frame_after_fast_frame(self):
+        """For a re-executed replica, the guaranteed frame never precedes
+        the fast frame."""
+        faults = FaultModel(k=2, mu=10.0)
+        graph = make_graph(
+            {"A": {"N1": 20.0, "N2": 20.0}, "B": {"N2": 30.0}},
+            [("A", "B", 2)],
+        )
+        schedule = schedule_single_graph(
+            graph, faults,
+            {"A": Policy.combined(2, 2), "B": Policy.reexecution(2)},
+            {"A": ("N1", "N2"), "B": "N2"},
+            BUS2,
+        )
+        fast = schedule.medl["m_A_B[A:r0]"]
+        guaranteed = schedule.medl["m_A_B[A:r0]#g"]
+        assert guaranteed.slot_start >= fast.slot_start
+        # The guaranteed frame lies at/after the sender's WCF.
+        assert guaranteed.slot_start >= schedule.placements["A:r0"].wcf - 1e-9
+
+    def test_masked_frame_slot_after_full_recovery(self):
+        faults = FaultModel(k=3, mu=5.0)
+        graph = make_graph(
+            {"A": {"N1": 40.0}, "B": {"N2": 10.0}}, [("A", "B", 1)]
+        )
+        schedule = schedule_single_graph(
+            graph, faults,
+            {"A": Policy.reexecution(3), "B": Policy.reexecution(3)},
+            {"A": "N1", "B": "N2"},
+            BUS2,
+        )
+        descriptor = schedule.medl["m_A_B[A:r0]"]
+        # WCF of A = 40 + 3*(40+5) = 175.
+        assert descriptor.slot_start >= 175.0 - 1e-9
+
+
+class TestColocatedReplicaChains:
+    def test_colocated_replicas_serialize(self):
+        """Replicas forced onto one node run back to back (k > nodes)."""
+        faults = FaultModel(k=3, mu=5.0)
+        graph = make_graph({"A": {"N1": 10.0, "N2": 10.0}})
+        schedule = schedule_single_graph(
+            graph, faults,
+            {"A": Policy.replication(3)},
+            {"A": ("N1", "N2", "N1", "N2")},
+            BUS2,
+        )
+        n1_instances = [
+            schedule.placements[iid] for iid in schedule.node_chains["N1"]
+        ]
+        assert len(n1_instances) == 2
+        first, second = n1_instances
+        assert second.root_start >= first.root_finish - 1e-9
+
+    def test_completion_accounts_colocation(self):
+        """Guaranteed completion of a co-located replica group is later than
+        for fully parallel replicas."""
+        faults = FaultModel(k=2, mu=5.0)
+        graph3 = make_graph({"A": {"N1": 10.0, "N2": 10.0, "N3": 10.0}})
+        bus3 = BusConfig.minimal(("N1", "N2", "N3"), 4)
+        parallel = schedule_single_graph(
+            graph3, faults,
+            {"A": Policy.replication(2)},
+            {"A": ("N1", "N2", "N3")},
+            bus3,
+        )
+        graph2 = make_graph({"A": {"N1": 10.0, "N2": 10.0}})
+        colocated = schedule_single_graph(
+            graph2, faults,
+            {"A": Policy.replication(2)},
+            {"A": ("N1", "N2", "N1")},
+            BUS2,
+        )
+        assert parallel.completions["A"] < colocated.completions["A"]

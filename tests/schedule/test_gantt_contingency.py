@@ -1,0 +1,140 @@
+"""Tests for Gantt rendering and contingency schedule synthesis."""
+
+import pytest
+
+from repro.model.fault import FaultModel
+from repro.model.policy import Policy
+from repro.schedule.contingency import (
+    format_contingency,
+    single_fault_scenarios,
+    synthesize_contingency_schedules,
+    transparency_report,
+)
+from repro.schedule.gantt import GanttOptions, render_gantt, render_node_table
+from repro.sim.faults import FaultScenario
+from repro.ttp.bus import BusConfig
+
+from tests.conftest import make_graph, schedule_single_graph
+
+BUS2 = BusConfig(("N1", "N2"), {"N1": 10.0, "N2": 10.0}, ms_per_byte=5.0)
+K1 = FaultModel(k=1, mu=10.0)
+
+
+def _schedule(policies=None, mapping=None):
+    graph = make_graph(
+        {
+            "A": {"N1": 20.0, "N2": 20.0},
+            "B": {"N1": 30.0, "N2": 30.0},
+            "C": {"N1": 25.0, "N2": 25.0},
+        },
+        [("A", "B", 2), ("A", "C", 2)],
+    )
+    policies = policies or {n: Policy.reexecution(1) for n in "ABC"}
+    mapping = mapping or {"A": "N1", "B": "N1", "C": "N2"}
+    return schedule_single_graph(graph, K1, policies, mapping, BUS2)
+
+
+class TestGantt:
+    def test_contains_nodes_bus_and_length(self):
+        text = render_gantt(_schedule())
+        assert "N1" in text and "N2" in text
+        assert "bus" in text
+        assert "schedule length" in text
+
+    def test_slack_hatching_present(self):
+        text = render_gantt(_schedule())
+        assert ":" in text
+
+    def test_no_bus_row_when_disabled(self):
+        text = render_gantt(_schedule(), GanttOptions(show_bus=False))
+        assert "\nbus" not in text
+
+    def test_width_clamped(self):
+        narrow = render_gantt(_schedule(), GanttOptions(width=10))
+        wide = render_gantt(_schedule(), GanttOptions(width=10_000))
+        assert max(len(line) for line in narrow.splitlines()) >= 40
+        assert max(len(line) for line in wide.splitlines()) <= 140
+
+    def test_node_table_rendering(self):
+        text = render_node_table(_schedule(), "N1")
+        assert "A:r0" in text and "B:r0" in text
+        assert "WCF" in text
+
+
+class TestContingency:
+    def test_single_fault_scenarios_cover_all_instances(self):
+        schedule = _schedule()
+        scenarios = single_fault_scenarios(schedule)
+        assert len(scenarios) == len(schedule.placements)
+        assert all(s.total_faults == 1 for s in scenarios)
+
+    def test_no_scenarios_for_nft(self):
+        from repro.model.fault import NO_FAULTS
+
+        graph = make_graph({"A": {"N1": 10.0}})
+        schedule = schedule_single_graph(
+            graph, NO_FAULTS, {"A": Policy.reexecution(0)}, {"A": "N1"}, BUS2
+        )
+        assert single_fault_scenarios(schedule) == []
+
+    def test_tables_shift_only_within_slack(self):
+        schedule = _schedule()
+        for contingency in synthesize_contingency_schedules(schedule):
+            for node, entries in contingency.tables.items():
+                for entry in entries:
+                    bound = schedule.placements[entry.instance_id].wcf
+                    assert entry.finish <= bound + 1e-6
+
+    def test_fault_shifts_its_own_node(self):
+        schedule = _schedule()
+        (contingency,) = synthesize_contingency_schedules(
+            schedule, [FaultScenario({"A:r0": 1})]
+        )
+        assert "N1" in contingency.shifted_nodes()
+        assert contingency.max_shift() > 0.0
+
+    def test_reexecution_faults_are_transparent(self):
+        """Pure re-execution: no single fault is visible on other nodes."""
+        report = transparency_report(_schedule())
+        assert report.fully_transparent
+        assert len(report.transparent) == 3
+
+    def test_replica_kill_visible_downstream(self):
+        """Killing a replica activates the descendant's contingency (Fig. 7).
+
+        The receiver lives on a third node and starts, fault-free, on the
+        earlier replica frame; killing that replica makes it wait for the
+        surviving replica's frame — a visible shift on a foreign node.
+        """
+        bus3 = BusConfig(
+            ("N1", "N2", "N3"),
+            {"N1": 10.0, "N2": 10.0, "N3": 10.0},
+            ms_per_byte=5.0,
+        )
+        graph = make_graph(
+            {
+                "A": {"N1": 20.0, "N2": 35.0, "N3": 30.0},
+                "B": {"N1": 30.0, "N2": 30.0, "N3": 30.0},
+            },
+            [("A", "B", 2)],
+        )
+        schedule = schedule_single_graph(
+            graph,
+            K1,
+            {"A": Policy.replication(1), "B": Policy.reexecution(1)},
+            {"A": ("N1", "N2"), "B": "N3"},
+            bus3,
+        )
+        report = transparency_report(schedule)
+        assert not report.fully_transparent
+        affected = set().union(*report.visible.values())
+        assert "N3" in affected
+
+    def test_format_contingency(self):
+        schedule = _schedule()
+        (contingency,) = synthesize_contingency_schedules(
+            schedule, [FaultScenario({"B:r0": 1})]
+        )
+        text = format_contingency(contingency)
+        assert "contingency for" in text
+        assert "B:r0" in text

@@ -1,0 +1,98 @@
+"""Tests for schedule diagnostics (utilization, slack, bus, redundancy)."""
+
+import pytest
+
+from repro.model.fault import NO_FAULTS, FaultModel
+from repro.model.policy import Policy
+from repro.schedule.metrics import compute_metrics
+from repro.ttp.bus import BusConfig
+
+from tests.conftest import make_graph, schedule_single_graph
+
+BUS2 = BusConfig(("N1", "N2"), {"N1": 10.0, "N2": 10.0}, ms_per_byte=5.0)
+K1 = FaultModel(k=1, mu=10.0)
+
+
+def _schedule(policies=None, mapping=None, faults=K1):
+    graph = make_graph(
+        {"A": {"N1": 20.0, "N2": 20.0}, "B": {"N1": 30.0, "N2": 30.0}},
+        [("A", "B", 2)],
+    )
+    policies = policies or {"A": Policy.reexecution(1), "B": Policy.reexecution(1)}
+    mapping = mapping or {"A": "N1", "B": "N2"}
+    return schedule_single_graph(graph, faults, policies, mapping, BUS2)
+
+
+class TestNodeMetrics:
+    def test_busy_time_is_sum_of_wcets(self):
+        metrics = compute_metrics(_schedule())
+        assert metrics.nodes["N1"].busy_time == pytest.approx(20.0)
+        assert metrics.nodes["N2"].busy_time == pytest.approx(30.0)
+
+    def test_slack_positive_with_faults(self):
+        metrics = compute_metrics(_schedule())
+        assert metrics.nodes["N1"].slack_time > 0
+        assert metrics.nodes["N2"].slack_time > 0
+
+    def test_no_slack_without_faults(self):
+        schedule = _schedule(
+            policies={"A": Policy.reexecution(0), "B": Policy.reexecution(0)},
+            faults=NO_FAULTS,
+        )
+        metrics = compute_metrics(schedule)
+        assert metrics.nodes["N1"].slack_time == pytest.approx(0.0)
+
+    def test_utilization_bounds(self):
+        metrics = compute_metrics(_schedule())
+        for node_metrics in metrics.nodes.values():
+            assert 0.0 <= node_metrics.utilization <= 1.0
+            assert (
+                node_metrics.worst_case_utilization >= node_metrics.utilization
+            )
+            assert node_metrics.worst_case_utilization <= 1.0
+
+    def test_bottleneck_is_a_known_node(self):
+        metrics = compute_metrics(_schedule())
+        assert metrics.bottleneck_node() in ("N1", "N2")
+
+
+class TestBusMetrics:
+    def test_single_message_counted(self):
+        metrics = compute_metrics(_schedule())
+        assert metrics.bus is not None
+        assert metrics.bus.frames == 1
+        assert metrics.bus.payload_bytes == 2
+        assert metrics.bus.rounds_used == 1
+        assert metrics.bus.bytes_per_round == pytest.approx(2.0)
+
+    def test_colocated_app_uses_no_bus(self):
+        schedule = _schedule(mapping={"A": "N1", "B": "N1"})
+        metrics = compute_metrics(schedule)
+        assert metrics.bus.frames == 0
+        assert metrics.bus.bytes_per_round == 0.0
+
+
+class TestRedundancyMetrics:
+    def test_pure_reexecution(self):
+        metrics = compute_metrics(_schedule())
+        assert metrics.redundancy.space_redundancy == 0.0
+        assert metrics.redundancy.time_redundancy == pytest.approx(1.0)
+
+    def test_replication_counts_extra_replicas(self):
+        schedule = _schedule(
+            policies={"A": Policy.replication(1), "B": Policy.reexecution(1)},
+            mapping={"A": ("N1", "N2"), "B": "N2"},
+        )
+        metrics = compute_metrics(schedule)
+        assert metrics.redundancy.space_redundancy == pytest.approx(0.5)
+        assert metrics.redundancy.time_redundancy == pytest.approx(0.5)
+
+
+class TestFormat:
+    def test_format_mentions_everything(self):
+        text = compute_metrics(_schedule()).format()
+        assert "schedule length" in text
+        assert "N1" in text and "N2" in text
+        assert "bus" in text
+        assert "redundancy" in text
+        assert "bottleneck" in text

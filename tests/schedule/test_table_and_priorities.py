@@ -1,0 +1,122 @@
+"""Unit tests for schedule tables, critical path and PCP priorities."""
+
+import pytest
+
+from repro.model.application import Application, Process, ProcessGraph
+from repro.model.fault import FaultModel
+from repro.model.ftgraph import build_ft_graph
+from repro.model.mapping import ReplicaMapping
+from repro.model.merge import merge_application
+from repro.model.policy import Policy, PolicyAssignment
+from repro.schedule.priorities import instance_weight, pcp_priorities
+from repro.ttp.bus import BusConfig
+
+from tests.conftest import make_graph, schedule_single_graph
+
+BUS2 = BusConfig(("N1", "N2"), {"N1": 10.0, "N2": 10.0}, ms_per_byte=5.0)
+K1 = FaultModel(k=1, mu=10.0)
+
+
+def _chain_schedule():
+    graph = make_graph(
+        {
+            "A": {"N1": 20.0, "N2": 20.0},
+            "B": {"N1": 30.0, "N2": 30.0},
+            "C": {"N1": 40.0, "N2": 40.0},
+            "D": {"N1": 10.0, "N2": 10.0},  # independent side process
+        },
+        [("A", "B", 2), ("B", "C", 2)],
+        deadline=1000.0,
+    )
+    policies = {n: Policy.reexecution(1) for n in "ABCD"}
+    # D sits behind B on N1 and finishes well before C's worst case on N2,
+    # so the worst-case chain of constraints is A -> B -> m -> C.
+    mapping = {"A": "N1", "B": "N1", "C": "N2", "D": "N1"}
+    return schedule_single_graph(graph, K1, policies, mapping, BUS2)
+
+
+class TestCriticalPath:
+    def test_follows_the_chain(self):
+        schedule = _chain_schedule()
+        cp = schedule.critical_path()
+        assert cp[-1] == "C"
+        assert "B" in cp and "A" in cp
+        # Source-to-sink order.
+        assert cp.index("A") < cp.index("B") < cp.index("C")
+
+    def test_side_process_not_on_cp(self):
+        schedule = _chain_schedule()
+        assert "D" not in schedule.critical_path()
+
+
+class TestTardinessAndSchedulability:
+    def _deadline_schedule(self, deadline):
+        graph = make_graph(
+            {"A": {"N1": 30.0}},
+            [],
+            deadline=deadline,
+        )
+        return schedule_single_graph(
+            graph, K1, {"A": Policy.reexecution(1)}, {"A": "N1"}, BUS2
+        )
+
+    def test_schedulable_when_wcf_below_deadline(self):
+        schedule = self._deadline_schedule(100.0)
+        assert schedule.is_schedulable
+        assert schedule.degree_of_schedulability() == 0.0
+
+    def test_unschedulable_when_wcf_above_deadline(self):
+        # WCF = 30 + (30 + 10) = 70 > 60.
+        schedule = self._deadline_schedule(60.0)
+        assert not schedule.is_schedulable
+        assert schedule.degree_of_schedulability() == pytest.approx(10.0)
+        assert schedule.tardiness() == {"A": pytest.approx(10.0)}
+
+    def test_no_deadline_means_schedulable(self):
+        graph = make_graph({"A": {"N1": 30.0}})
+        schedule = schedule_single_graph(
+            graph, K1, {"A": Policy.reexecution(1)}, {"A": "N1"}, BUS2
+        )
+        assert schedule.is_schedulable
+
+
+class TestRendering:
+    def test_format_tables_mentions_every_node_and_length(self):
+        schedule = _chain_schedule()
+        text = schedule.format_tables()
+        assert "node N1:" in text
+        assert "node N2:" in text
+        assert "schedule length" in text
+        assert "MEDL" in text
+
+
+class TestPriorities:
+    def test_instance_weight_includes_recovery(self):
+        assert instance_weight(30.0, 2, 10.0) == 30.0 + 2 * 40.0
+
+    def test_priority_decreases_along_chain(self):
+        graph = make_graph(
+            {"A": {"N1": 10.0}, "B": {"N1": 10.0}, "C": {"N1": 10.0}},
+            [("A", "B"), ("B", "C")],
+        )
+        merged = merge_application(Application([graph]))
+        policies = PolicyAssignment.uniform(iter("ABC"), Policy.reexecution(1))
+        mapping = ReplicaMapping({n: ("N1",) for n in "ABC"})
+        ft = build_ft_graph(merged, policies, mapping, K1)
+        prio = pcp_priorities(ft, BUS2, K1)
+        assert prio["A:r0"] > prio["B:r0"] > prio["C:r0"]
+
+    def test_cross_node_edges_add_a_round(self):
+        graph = make_graph(
+            {"A": {"N1": 10.0}, "B": {"N1": 10.0, "N2": 10.0}},
+            [("A", "B")],
+        )
+        merged = merge_application(Application([graph]))
+        policies = PolicyAssignment.uniform(iter("AB"), Policy.reexecution(1))
+        local = ReplicaMapping({"A": ("N1",), "B": ("N1",)})
+        remote = ReplicaMapping({"A": ("N1",), "B": ("N2",)})
+        ft_local = build_ft_graph(merged, policies, local, K1)
+        ft_remote = build_ft_graph(merged, policies, remote, K1)
+        p_local = pcp_priorities(ft_local, BUS2, K1)
+        p_remote = pcp_priorities(ft_remote, BUS2, K1)
+        assert p_remote["A:r0"] == p_local["A:r0"] + BUS2.round_length

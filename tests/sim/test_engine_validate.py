@@ -1,0 +1,149 @@
+"""Unit tests for the simulation engine and the schedule validator."""
+
+import pytest
+
+from repro.errors import FaultToleranceViolation, SimulationError
+from repro.model.fault import FaultModel
+from repro.model.policy import Policy
+from repro.sim.engine import simulate
+from repro.sim.faults import FAULT_FREE, FaultScenario, enumerate_scenarios
+from repro.sim.validate import assert_fault_tolerant, validate_schedule
+from repro.ttp.bus import BusConfig
+
+from tests.conftest import make_graph, schedule_single_graph
+
+BUS2 = BusConfig(("N1", "N2"), {"N1": 10.0, "N2": 10.0}, ms_per_byte=5.0)
+K1 = FaultModel(k=1, mu=10.0)
+
+
+def _chain_schedule(policies=None, mapping=None, faults=K1):
+    graph = make_graph(
+        {"A": {"N1": 20.0, "N2": 20.0}, "B": {"N1": 30.0, "N2": 30.0}},
+        [("A", "B", 2)],
+    )
+    policies = policies or {"A": Policy.reexecution(1), "B": Policy.reexecution(1)}
+    mapping = mapping or {"A": "N1", "B": "N2"}
+    return schedule_single_graph(graph, faults, policies, mapping, BUS2)
+
+
+class TestSimulateFaultFree:
+    def test_matches_root_schedule(self):
+        schedule = _chain_schedule()
+        result = simulate(schedule, FAULT_FREE)
+        assert result.ok
+        for iid, placed in schedule.placements.items():
+            record = result.executions[iid]
+            assert record.start == pytest.approx(placed.root_start)
+            assert record.finish == pytest.approx(placed.root_finish)
+
+    def test_completions_recorded(self):
+        schedule = _chain_schedule()
+        result = simulate(schedule, FAULT_FREE)
+        assert result.completion("A") == pytest.approx(20.0)
+
+    def test_unknown_completion_raises(self):
+        schedule = _chain_schedule()
+        result = simulate(schedule, FAULT_FREE)
+        with pytest.raises(SimulationError):
+            result.completion("nope")
+
+
+class TestSimulateWithFaults:
+    def test_reexecution_delays_sender(self):
+        schedule = _chain_schedule()
+        result = simulate(schedule, FaultScenario({"A:r0": 1}))
+        record = result.executions["A:r0"]
+        assert record.attempts == 2
+        assert record.finish == pytest.approx(20.0 + 10.0 + 20.0)
+        assert result.ok
+
+    def test_receiver_unaffected_by_masked_sender_fault(self):
+        """Transparency: B's start is identical with and without A's fault."""
+        schedule = _chain_schedule()
+        clean = simulate(schedule, FAULT_FREE)
+        faulty = simulate(schedule, FaultScenario({"A:r0": 1}))
+        assert faulty.executions["B:r0"].start == pytest.approx(
+            clean.executions["B:r0"].start
+        )
+
+    def test_receiver_fault_consumes_slack_not_deadline(self):
+        schedule = _chain_schedule()
+        result = simulate(schedule, FaultScenario({"B:r0": 1}))
+        assert result.executions["B:r0"].finish <= schedule.completions["B"] + 1e-6
+
+    def test_replica_failover(self):
+        schedule = _chain_schedule(
+            policies={"A": Policy.replication(1), "B": Policy.reexecution(1)},
+            mapping={"A": ("N1", "N2"), "B": "N2"},
+        )
+        # Kill the replica co-located with B: B must use the remote frame.
+        result = simulate(schedule, FaultScenario({"A:r1": 1}))
+        assert result.ok
+        assert result.executions["B:r0"].start > 0.0
+
+    def test_beyond_k_faults_can_starve(self):
+        schedule = _chain_schedule(
+            policies={"A": Policy.replication(1), "B": Policy.reexecution(1)},
+            mapping={"A": ("N1", "N2"), "B": "N2"},
+        )
+        # Two faults exceed k=1: both replicas die; B starves.
+        result = simulate(schedule, FaultScenario({"A:r0": 1, "A:r1": 1}))
+        assert not result.ok
+        assert "A" in result.dead_processes
+
+
+class TestValidator:
+    def test_passes_for_sound_schedule(self):
+        schedule = _chain_schedule()
+        report = validate_schedule(schedule)
+        assert report.ok
+        assert report.scenarios_checked == len(
+            list(enumerate_scenarios(schedule.ft, 1))
+        )
+        assert "PASS" in report.summary()
+
+    def test_assert_fault_tolerant_passes(self):
+        schedule = _chain_schedule()
+        assert_fault_tolerant(schedule)
+
+    def test_scenario_beyond_k_rejected(self):
+        schedule = _chain_schedule()
+        with pytest.raises(FaultToleranceViolation):
+            validate_schedule(
+                schedule, scenarios=[FaultScenario({"A:r0": 1, "B:r0": 1})]
+            )
+
+    def test_detects_violated_bound(self):
+        """Corrupting an analytical bound must be caught by injection."""
+        from dataclasses import replace
+
+        schedule = _chain_schedule()
+        iid = "B:r0"
+        placed = schedule.placements[iid]
+        schedule.placements[iid] = replace(placed, wcf=placed.root_finish)
+        schedule.completions["B"] = placed.root_finish
+        report = validate_schedule(schedule)
+        assert not report.ok
+        assert any("B" in v for v in report.violations)
+
+    def test_assert_raises_on_violation(self):
+        from dataclasses import replace
+
+        schedule = _chain_schedule()
+        placed = schedule.placements["B:r0"]
+        schedule.placements["B:r0"] = replace(placed, wcf=placed.root_finish)
+        with pytest.raises(FaultToleranceViolation):
+            assert_fault_tolerant(schedule)
+
+    def test_deadline_miss_reported(self):
+        graph = make_graph(
+            {"A": {"N1": 30.0}},
+            [],
+            deadline=50.0,  # WCF = 70 > 50
+        )
+        schedule = schedule_single_graph(
+            graph, K1, {"A": Policy.reexecution(1)}, {"A": "N1"}, BUS2
+        )
+        report = validate_schedule(schedule)
+        assert not report.ok
+        assert any("deadline" in v for v in report.violations)

@@ -1,0 +1,187 @@
+"""Unit tests for fault scenarios, node kernels and the TTP bus model."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.model.application import Application
+from repro.model.fault import FaultModel
+from repro.model.ftgraph import Instance, build_ft_graph
+from repro.model.mapping import ReplicaMapping
+from repro.model.merge import merge_application
+from repro.model.policy import Policy, PolicyAssignment
+from repro.sim.controller import TTPBusModel
+from repro.sim.faults import (
+    FAULT_FREE,
+    FaultScenario,
+    adversarial_scenarios,
+    enumerate_scenarios,
+    sample_scenarios,
+)
+from repro.sim.kernel import NodeKernel
+from repro.ttp.medl import MEDL, MessageDescriptor
+
+from tests.conftest import make_graph
+
+
+def _ft(k=2):
+    graph = make_graph(
+        {"A": {"N1": 10.0, "N2": 10.0}, "B": {"N1": 10.0, "N2": 10.0}},
+        [("A", "B", 1)],
+    )
+    merged = merge_application(Application([graph]))
+    policies = PolicyAssignment(
+        {"A": Policy.combined(2, k), "B": Policy.reexecution(k)}
+    )
+    mapping = ReplicaMapping({"A": ("N1", "N2"), "B": ("N2",)})
+    return build_ft_graph(merged, policies, mapping, FaultModel(k=k, mu=5.0))
+
+
+class TestFaultScenario:
+    def test_zero_counts_dropped(self):
+        s = FaultScenario({"X": 0, "Y": 2})
+        assert s.failures == {"Y": 2}
+        assert s.total_faults == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            FaultScenario({"X": -1})
+
+    def test_describe(self):
+        assert FAULT_FREE.describe() == "fault-free"
+        assert "Yx2" in FaultScenario({"Y": 2}).describe()
+
+
+class TestEnumerate:
+    def test_counts_for_small_system(self):
+        ft = _ft(k=1)
+        scenarios = list(enumerate_scenarios(ft, 1))
+        # fault-free + one single-fault scenario per instance (3 instances).
+        assert len(scenarios) == 4
+
+    def test_respects_instance_capacity(self):
+        ft = _ft(k=2)
+        for scenario in enumerate_scenarios(ft, 2):
+            for iid, count in scenario.failures.items():
+                assert count <= ft.instance(iid).reexecutions + 1
+
+    def test_total_bounded_by_k(self):
+        ft = _ft(k=2)
+        assert all(s.total_faults <= 2 for s in enumerate_scenarios(ft, 2))
+
+
+class TestSample:
+    def test_sampled_scenarios_valid(self):
+        ft = _ft(k=2)
+        rng = random.Random(1)
+        for scenario in sample_scenarios(ft, 2, rng, count=50):
+            assert scenario.total_faults <= 2
+            for iid, count in scenario.failures.items():
+                assert count <= ft.instance(iid).reexecutions + 1
+
+    def test_always_max_faults(self):
+        ft = _ft(k=2)
+        rng = random.Random(1)
+        for scenario in sample_scenarios(ft, 2, rng, count=20, always_max_faults=True):
+            assert scenario.total_faults == 2
+
+    def test_deterministic_with_seed(self):
+        ft = _ft(k=2)
+        a = sample_scenarios(ft, 2, random.Random(7), count=10)
+        b = sample_scenarios(ft, 2, random.Random(7), count=10)
+        assert a == b
+
+
+class TestAdversarial:
+    def test_includes_fault_free_and_kills(self):
+        ft = _ft(k=2)
+        scenarios = adversarial_scenarios(ft, 2)
+        assert FAULT_FREE in scenarios
+        assert all(s.total_faults <= 2 for s in scenarios)
+        # Some scenario must exhaust a replica's re-executions.
+        assert any("A:r0" in s.failures for s in scenarios)
+
+
+class TestNodeKernel:
+    def _instance(self, e=1):
+        return Instance(
+            id="P:r0", process="P", replica=0, node="N1",
+            wcet=10.0, reexecutions=e,
+        )
+
+    def test_fault_free_execution(self):
+        kernel = NodeKernel("N1", FaultModel(k=1, mu=5.0))
+        record = kernel.execute(self._instance(), 0.0, 0.0, 0)
+        assert record.finish == 10.0
+        assert record.produced
+        assert kernel.local_time == 10.0
+
+    def test_reexecution_timing(self):
+        kernel = NodeKernel("N1", FaultModel(k=1, mu=5.0))
+        record = kernel.execute(self._instance(), 0.0, 0.0, 1)
+        # one failure: 10 + 5 (mu) + 10 = 25
+        assert record.finish == 25.0
+        assert record.attempts == 2
+        assert record.produced
+
+    def test_terminal_failure(self):
+        kernel = NodeKernel("N1", FaultModel(k=2, mu=5.0))
+        record = kernel.execute(self._instance(e=1), 0.0, 0.0, 2)
+        assert not record.produced
+        assert record.output_ready is None
+        # busy until both failed attempts finished: 2 * (10 + 5)
+        assert record.finish == 30.0
+
+    def test_table_start_respected(self):
+        kernel = NodeKernel("N1", FaultModel(k=1, mu=5.0))
+        record = kernel.execute(self._instance(), 50.0, 0.0, 0)
+        assert record.start == 50.0
+
+    def test_chain_serializes(self):
+        kernel = NodeKernel("N1", FaultModel(k=1, mu=5.0))
+        kernel.execute(self._instance(), 0.0, 0.0, 1)  # ends 25
+        second = Instance(
+            id="Q:r0", process="Q", replica=0, node="N1", wcet=5.0, reexecutions=1
+        )
+        record = kernel.execute(second, 10.0, 0.0, 0)
+        assert record.start == 25.0  # contingency delay past table start
+
+
+class TestTTPBusModel:
+    def _medl(self):
+        medl = MEDL()
+        medl.add(
+            MessageDescriptor(
+                bus_message_id="m1", sender_node="N1", round_index=0,
+                slot_start=10.0, slot_end=20.0, offset_bytes=0, size_bytes=1,
+            )
+        )
+        return medl
+
+    def test_valid_when_ready_before_slot(self):
+        bus = TTPBusModel(self._medl())
+        t = bus.transmit("m1", data_ready=10.0)
+        assert t.valid
+        assert bus.valid_arrival("m1") == 20.0
+
+    def test_invalid_when_late(self):
+        bus = TTPBusModel(self._medl())
+        bus.transmit("m1", data_ready=10.5)
+        assert bus.valid_arrival("m1") is None
+
+    def test_invalid_when_dead(self):
+        bus = TTPBusModel(self._medl())
+        bus.transmit("m1", data_ready=None)
+        assert bus.valid_arrival("m1") is None
+
+    def test_double_transmit_rejected(self):
+        bus = TTPBusModel(self._medl())
+        bus.transmit("m1", data_ready=0.0)
+        with pytest.raises(SimulationError):
+            bus.transmit("m1", data_ready=0.0)
+
+    def test_unknown_reception_rejected(self):
+        bus = TTPBusModel(self._medl())
+        with pytest.raises(SimulationError):
+            bus.reception("m1")

@@ -1,0 +1,105 @@
+"""Tests for simulation event traces."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.model.fault import FaultModel
+from repro.model.policy import Policy
+from repro.sim.engine import simulate
+from repro.sim.faults import FAULT_FREE, FaultScenario
+from repro.sim.trace import build_trace, format_trace, trace_to_csv, trace_to_json
+from repro.ttp.bus import BusConfig
+
+from tests.conftest import make_graph, schedule_single_graph
+
+BUS2 = BusConfig(("N1", "N2"), {"N1": 10.0, "N2": 10.0}, ms_per_byte=5.0)
+K1 = FaultModel(k=1, mu=10.0)
+
+
+def _schedule():
+    graph = make_graph(
+        {"A": {"N1": 20.0}, "B": {"N2": 30.0}},
+        [("A", "B", 2)],
+    )
+    return schedule_single_graph(
+        graph, K1,
+        {"A": Policy.reexecution(1), "B": Policy.reexecution(1)},
+        {"A": "N1", "B": "N2"},
+        BUS2,
+    )
+
+
+class TestBuildTrace:
+    def test_fault_free_has_no_fault_events(self):
+        schedule = _schedule()
+        events = build_trace(schedule, simulate(schedule, FAULT_FREE))
+        kinds = {event.kind for event in events}
+        assert "fault" not in kinds
+        assert "start" in kinds and "finish" in kinds and "frame" in kinds
+
+    def test_events_time_ordered(self):
+        schedule = _schedule()
+        events = build_trace(schedule, simulate(schedule, FAULT_FREE))
+        times = [event.time for event in events]
+        assert times == sorted(times)
+
+    def test_fault_and_recovery_events_present(self):
+        schedule = _schedule()
+        events = build_trace(schedule, simulate(schedule, FaultScenario({"A:r0": 1})))
+        faults = [e for e in events if e.kind == "fault"]
+        recoveries = [e for e in events if e.kind == "recovery"]
+        assert len(faults) == 1
+        assert len(recoveries) == 1
+        # Fault at first-attempt end (20), recovery mu later (30).
+        assert faults[0].time == pytest.approx(20.0)
+        assert recoveries[0].time == pytest.approx(30.0)
+
+    def test_frame_validity_annotated(self):
+        schedule = _schedule()
+        events = build_trace(schedule, simulate(schedule, FAULT_FREE))
+        frames = [e for e in events if e.kind == "frame"]
+        assert len(frames) == 1
+        assert frames[0].detail == "valid"
+
+    def test_dead_replica_marked(self):
+        graph = make_graph(
+            {"A": {"N1": 20.0, "N2": 20.0}, "B": {"N2": 30.0}},
+            [("A", "B", 2)],
+        )
+        schedule = schedule_single_graph(
+            graph, K1,
+            {"A": Policy.replication(1), "B": Policy.reexecution(1)},
+            {"A": ("N1", "N2"), "B": "N2"},
+            BUS2,
+        )
+        events = build_trace(
+            schedule, simulate(schedule, FaultScenario({"A:r0": 1}))
+        )
+        dead = [e for e in events if e.kind == "dead"]
+        assert [e.subject for e in dead] == ["A:r0"]
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        schedule = _schedule()
+        events = build_trace(schedule, simulate(schedule, FAULT_FREE))
+        parsed = json.loads(trace_to_json(events))
+        assert len(parsed) == len(events)
+        assert parsed[0]["kind"] == events[0].kind
+
+    def test_csv_has_header_and_rows(self):
+        schedule = _schedule()
+        events = build_trace(schedule, simulate(schedule, FAULT_FREE))
+        rows = list(csv.reader(io.StringIO(trace_to_csv(events))))
+        assert rows[0] == ["time", "kind", "node", "subject", "detail"]
+        assert len(rows) == len(events) + 1
+
+    def test_format_readable(self):
+        schedule = _schedule()
+        events = build_trace(schedule, simulate(schedule, FAULT_FREE))
+        text = format_trace(events)
+        assert "start" in text and "finish" in text
+        assert "ms" in text

@@ -1,0 +1,61 @@
+"""Smoke tests for the ftds command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_validate_small_case(self, capsys):
+        code = main(
+            [
+                "validate",
+                "--processes", "8",
+                "--nodes", "2",
+                "--k", "2",
+                "--samples", "30",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "schedule length" in out
+        assert "PASS" in out
+
+    def test_help_lists_subcommands(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        for sub in (
+            "table1a",
+            "table1b",
+            "table1c",
+            "figure10",
+            "cc",
+            "validate",
+            "gantt",
+            "export",
+        ):
+            assert sub in out
+
+    def test_gantt_small_case(self, capsys):
+        code = main(["gantt", "--processes", "6", "--nodes", "2", "--k", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "schedule length" in out
+        assert "N1" in out
+
+    def test_export_round_trips(self, tmp_path, capsys):
+        target = tmp_path / "case.json"
+        code = main(
+            ["export", str(target), "--processes", "6", "--nodes", "2", "--k", "1"]
+        )
+        assert code == 0
+        from repro.io.json_codec import load_case
+
+        app, arch, faults, impl = load_case(target)
+        assert impl is not None
+        assert len(app.graphs[0]) == 6

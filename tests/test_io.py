@@ -1,0 +1,146 @@
+"""Round-trip tests for the JSON codec."""
+
+import json
+
+import pytest
+
+from repro.errors import ModelError
+from repro.apps.cruise_control import cruise_control_case
+from repro.gen.suite import generate_case
+from repro.io.json_codec import (
+    application_from_dict,
+    application_to_dict,
+    architecture_from_dict,
+    architecture_to_dict,
+    fault_model_from_dict,
+    fault_model_to_dict,
+    implementation_from_dict,
+    implementation_to_dict,
+    load_case,
+    save_case,
+    schedule_to_dict,
+)
+from repro.model.merge import merge_application
+from repro.opt.initial import initial_bus_access, initial_mpa
+from repro.schedule.list_scheduler import list_schedule
+
+
+def _case():
+    return generate_case(8, 2, 2, mu=5.0, seed=3)
+
+
+class TestApplicationRoundTrip:
+    def test_random_case(self):
+        case = _case()
+        data = application_to_dict(case.application)
+        clone = application_from_dict(json.loads(json.dumps(data)))
+        original = case.application.graphs[0]
+        restored = clone.graphs[0]
+        assert {n: p.wcet for n, p in original.processes.items()} == {
+            n: p.wcet for n, p in restored.processes.items()
+        }
+        assert sorted(original.messages) == sorted(restored.messages)
+        assert restored.deadline == original.deadline
+
+    def test_cruise_controller_preserves_constraints(self):
+        app, _, _ = cruise_control_case()
+        restored = application_from_dict(application_to_dict(app))
+        graph = restored.graphs[0]
+        assert len(graph) == 32
+        assert graph.process("s_wheel_fl").fixed_node == "ABS"
+        assert graph.deadline == 250.0
+
+    def test_unsupported_version_rejected(self):
+        case = _case()
+        data = application_to_dict(case.application)
+        data["version"] = 99
+        with pytest.raises(ModelError):
+            application_from_dict(data)
+
+
+class TestArchitectureAndFaults:
+    def test_architecture_round_trip(self):
+        case = _case()
+        restored = architecture_from_dict(architecture_to_dict(case.architecture))
+        assert restored.node_names == case.architecture.node_names
+
+    def test_architecture_with_bus(self):
+        from repro.model.architecture import Architecture, Node
+        from repro.ttp.bus import BusConfig
+
+        arch = Architecture(
+            [Node("A"), Node("B")],
+            bus=BusConfig.minimal(("A", "B"), 4, ms_per_byte=2.0),
+        )
+        restored = architecture_from_dict(architecture_to_dict(arch))
+        assert restored.bus is not None
+        assert restored.bus.signature() == arch.bus.signature()
+
+    def test_fault_model_round_trip(self):
+        case = _case()
+        restored = fault_model_from_dict(fault_model_to_dict(case.faults))
+        assert restored == case.faults
+
+
+class TestImplementationRoundTrip:
+    def test_policies_mapping_bus_preserved(self):
+        case = _case()
+        merged = merge_application(case.application)
+        bus = initial_bus_access(case.application, case.architecture)
+        impl = initial_mpa(merged, case.architecture, case.faults, bus)
+        restored = implementation_from_dict(
+            json.loads(json.dumps(implementation_to_dict(impl)))
+        )
+        assert restored.signature() == impl.signature()
+
+    def test_restored_solution_schedules_identically(self):
+        case = _case()
+        merged = merge_application(case.application)
+        bus = initial_bus_access(case.application, case.architecture)
+        impl = initial_mpa(merged, case.architecture, case.faults, bus)
+        restored = implementation_from_dict(implementation_to_dict(impl))
+        a = list_schedule(merged, case.faults, impl.policies, impl.mapping, impl.bus)
+        b = list_schedule(
+            merged, case.faults, restored.policies, restored.mapping, restored.bus
+        )
+        assert a.makespan == b.makespan
+
+
+class TestScheduleExport:
+    def test_contains_tables_medl_and_metrics(self):
+        case = _case()
+        merged = merge_application(case.application)
+        bus = initial_bus_access(case.application, case.architecture)
+        impl = initial_mpa(merged, case.architecture, case.faults, bus)
+        schedule = list_schedule(
+            merged, case.faults, impl.policies, impl.mapping, bus
+        )
+        data = schedule_to_dict(schedule)
+        assert data["schedule_length"] == schedule.makespan
+        assert set(data["nodes"]) == set(schedule.node_chains)
+        assert len(data["medl"]) == len(schedule.medl)
+        total_rows = sum(len(rows) for rows in data["nodes"].values())
+        assert total_rows == len(schedule.placements)
+        json.dumps(data)  # must be JSON-serializable
+
+
+class TestSaveLoadCase:
+    def test_full_round_trip(self, tmp_path):
+        case = _case()
+        merged = merge_application(case.application)
+        bus = initial_bus_access(case.application, case.architecture)
+        impl = initial_mpa(merged, case.architecture, case.faults, bus)
+        path = tmp_path / "case.json"
+        save_case(path, case.application, case.architecture, case.faults, impl)
+        app, arch, faults, restored = load_case(path)
+        assert faults == case.faults
+        assert arch.node_names == case.architecture.node_names
+        assert restored is not None
+        assert restored.signature() == impl.signature()
+
+    def test_problem_only(self, tmp_path):
+        case = _case()
+        path = tmp_path / "problem.json"
+        save_case(path, case.application, case.architecture, case.faults)
+        _, _, _, restored = load_case(path)
+        assert restored is None

@@ -1,0 +1,201 @@
+"""Semantic reproductions of the paper's illustrative figures (Figs. 2-5).
+
+These tests pin the qualitative claims of the motivation sections: when
+re-execution beats replication, when the combination wins, and why mapping
+must be fault-tolerance aware.  Exact millisecond values follow our fixed
+semantics (DESIGN.md §3); the *comparisons* are the paper's.
+"""
+
+import pytest
+
+from repro.model.fault import FaultModel
+from repro.model.policy import Policy
+from repro.ttp.bus import BusConfig
+
+from tests.conftest import make_graph, schedule_single_graph
+
+BUS2 = BusConfig(("N1", "N2"), {"N1": 10.0, "N2": 10.0}, ms_per_byte=5.0)
+K1 = FaultModel(k=1, mu=10.0)
+K2 = FaultModel(k=2, mu=10.0)
+
+
+class TestFigure2WorstCases:
+    """Fig. 2: the three fault-tolerance techniques for one process."""
+
+    def _p1(self, policy, mapping, faults=K2):
+        graph = make_graph({"P1": {"N1": 30.0, "N2": 30.0, "N3": 30.0}})
+        bus3 = BusConfig.minimal(("N1", "N2", "N3"), 4)
+        return schedule_single_graph(graph, faults, {"P1": policy}, {"P1": mapping}, bus3)
+
+    def test_fig2a_reexecution(self):
+        schedule = self._p1(Policy.reexecution(2), "N1")
+        assert schedule.completions["P1"] == pytest.approx(110.0)
+
+    def test_fig2b_replication(self):
+        schedule = self._p1(Policy.replication(2), ("N1", "N2", "N3"))
+        assert schedule.completions["P1"] == pytest.approx(30.0)
+
+    def test_fig2c_reexecuted_replicas(self):
+        schedule = self._p1(Policy.combined(2, 2), ("N1", "N2"))
+        # Worst case: the plain replica is killed (1 fault), the re-executed
+        # replica absorbs the second fault: 30 + (30 + 10) = 70.
+        assert schedule.completions["P1"] == pytest.approx(70.0)
+
+    def test_fig2_ordering(self):
+        rex = self._p1(Policy.reexecution(2), "N1").completions["P1"]
+        rep = self._p1(Policy.replication(2), ("N1", "N2", "N3")).completions["P1"]
+        mix = self._p1(Policy.combined(2, 2), ("N1", "N2")).completions["P1"]
+        assert rep < mix < rex
+
+
+class TestFigure3PolicyTradeoff:
+    """Fig. 3: neither policy dominates — it depends on the application."""
+
+    def test_a1_reexecution_beats_replication_on_unequal_nodes(self):
+        """Fig. 3's "N1 is faster than N2": replication must burn the slow
+        node for its second copies while re-execution clusters on the fast
+        one and shares a single recovery slack."""
+        graph = make_graph(
+            {
+                "P1": {"N1": 40.0, "N2": 110.0},
+                "P2": {"N1": 40.0, "N2": 110.0},
+                "P3": {"N1": 50.0, "N2": 140.0},
+            },
+            [("P1", "P3", 1), ("P2", "P3", 1)],
+        )
+        rex = schedule_single_graph(
+            graph,
+            K1,
+            {n: Policy.reexecution(1) for n in ("P1", "P2", "P3")},
+            {"P1": "N1", "P2": "N1", "P3": "N1"},
+            BUS2,
+        )
+        rep = schedule_single_graph(
+            graph,
+            K1,
+            {n: Policy.replication(1) for n in ("P1", "P2", "P3")},
+            {"P1": ("N1", "N2"), "P2": ("N1", "N2"), "P3": ("N1", "N2")},
+            BUS2,
+        )
+        assert rex.makespan < rep.makespan
+
+    def test_a2_replication_beats_reexecution_for_remote_chain(self):
+        """A chain crossing nodes: masked messages wait out the slack."""
+        graph = make_graph(
+            {
+                "P1": {"N1": 40.0, "N2": 40.0},
+                "P2": {"N2": 40.0, "N1": 40.0},
+            },
+            [("P1", "P2", 1)],
+        )
+        rex = schedule_single_graph(
+            graph,
+            K2,
+            {"P1": Policy.reexecution(2), "P2": Policy.reexecution(2)},
+            {"P1": "N1", "P2": "N2"},
+            BUS2,
+        )
+        rep = schedule_single_graph(
+            graph,
+            K2,
+            {"P1": Policy.replication(2), "P2": Policy.reexecution(2)},
+            {"P1": ("N1", "N2", "N1"), "P2": "N2"},
+            BUS2,
+        )
+        assert rep.makespan < rex.makespan
+
+
+class TestFigure4Combining:
+    """Fig. 4: combining re-execution and replication beats re-execution only."""
+
+    def _graph(self):
+        return make_graph(
+            {
+                "P1": {"N1": 40.0, "N2": 50.0},
+                "P2": {"N1": 60.0, "N2": 60.0},
+                "P3": {"N1": 80.0, "N2": 80.0},
+                "P4": {"N1": 40.0, "N2": 50.0},
+            },
+            [("P1", "P2", 1), ("P1", "P3", 1), ("P2", "P4", 1)],
+        )
+
+    def test_replicating_the_fanout_process_wins(self):
+        graph = self._graph()
+        mapping_rex = {"P1": "N2", "P2": "N1", "P3": "N2", "P4": "N1"}
+        rex = schedule_single_graph(
+            graph,
+            K1,
+            {n: Policy.reexecution(1) for n in ("P1", "P2", "P3", "P4")},
+            mapping_rex,
+            BUS2,
+        )
+        mix = schedule_single_graph(
+            graph,
+            K1,
+            {
+                "P1": Policy.replication(1),
+                "P2": Policy.reexecution(1),
+                "P3": Policy.reexecution(1),
+                "P4": Policy.reexecution(1),
+            },
+            {"P1": ("N1", "N2"), "P2": "N1", "P3": "N2", "P4": "N1"},
+            BUS2,
+        )
+        assert mix.makespan < rex.makespan
+
+
+class TestFigure5MappingInterplay:
+    """Fig. 5: the best non-fault-tolerant mapping is bad once faults count."""
+
+    def _graph(self):
+        # Balanced workload that splits nicely over two nodes without faults.
+        return make_graph(
+            {
+                "P1": {"N1": 40.0, "N2": 40.0},
+                "P2": {"N1": 60.0, "N2": 60.0},
+                "P3": {"N1": 60.0, "N2": 60.0},
+                "P4": {"N1": 40.0, "N2": 40.0},
+            },
+            [("P1", "P2", 1), ("P1", "P3", 1), ("P2", "P4", 1), ("P3", "P4", 1)],
+        )
+
+    def test_clustering_beats_nft_optimal_split_under_faults(self):
+        graph = self._graph()
+        policies = {n: Policy.reexecution(1) for n in ("P1", "P2", "P3", "P4")}
+        split = schedule_single_graph(
+            graph,
+            K1,
+            policies,
+            {"P1": "N1", "P2": "N1", "P3": "N2", "P4": "N1"},
+            BUS2,
+        )
+        clustered = schedule_single_graph(
+            graph,
+            K1,
+            policies,
+            {"P1": "N1", "P2": "N1", "P3": "N1", "P4": "N1"},
+            BUS2,
+        )
+        assert clustered.makespan < split.makespan
+
+    def test_split_is_fine_without_faults(self):
+        from repro.model.fault import NO_FAULTS
+
+        graph = self._graph()
+        policies = {n: Policy.reexecution(0) for n in ("P1", "P2", "P3", "P4")}
+        split = schedule_single_graph(
+            graph,
+            NO_FAULTS,
+            policies,
+            {"P1": "N1", "P2": "N1", "P3": "N2", "P4": "N1"},
+            BUS2,
+        )
+        clustered = schedule_single_graph(
+            graph,
+            NO_FAULTS,
+            policies,
+            {"P1": "N1", "P2": "N1", "P3": "N1", "P4": "N1"},
+            BUS2,
+        )
+        # Without faults, splitting the parallel stage is at least as good.
+        assert split.makespan <= clustered.makespan + 1e-9

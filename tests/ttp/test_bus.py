@@ -1,0 +1,107 @@
+"""Unit and property tests for the TDMA bus configuration."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.ttp.bus import BusConfig
+
+
+def _bus() -> BusConfig:
+    return BusConfig(
+        slot_order=("N1", "N2", "N3"),
+        slot_lengths={"N1": 10.0, "N2": 20.0, "N3": 5.0},
+        ms_per_byte=2.5,
+    )
+
+
+class TestBusConfig:
+    def test_round_length(self):
+        assert _bus().round_length == 35.0
+
+    def test_slot_starts_within_round(self):
+        bus = _bus()
+        assert bus.slot_start("N1", 0) == 0.0
+        assert bus.slot_start("N2", 0) == 10.0
+        assert bus.slot_start("N3", 0) == 30.0
+
+    def test_slot_starts_across_rounds(self):
+        bus = _bus()
+        assert bus.slot_start("N2", 2) == 2 * 35.0 + 10.0
+        assert bus.slot_end("N2", 2) == 2 * 35.0 + 30.0
+
+    def test_capacity_bytes(self):
+        bus = _bus()
+        assert bus.capacity_bytes("N1") == 4  # 10 ms / 2.5 ms per byte
+        assert bus.capacity_bytes("N3") == 2
+
+    def test_slot_index(self):
+        assert _bus().slot_index("N3") == 2
+        with pytest.raises(ConfigurationError):
+            _bus().slot_index("N9")
+
+    def test_first_round_at_or_after(self):
+        bus = _bus()
+        assert bus.first_round_at_or_after("N2", 0.0) == 0
+        assert bus.first_round_at_or_after("N2", 10.0) == 0
+        assert bus.first_round_at_or_after("N2", 10.1) == 1
+        assert bus.first_round_at_or_after("N1", 71.0) == 3
+
+    def test_duplicate_slot_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BusConfig(("N1", "N1"), {"N1": 10.0})
+
+    def test_missing_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BusConfig(("N1", "N2"), {"N1": 10.0})
+
+    def test_non_positive_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BusConfig(("N1",), {"N1": 0.0})
+
+    def test_negative_round_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _bus().slot_start("N1", -1)
+
+    def test_minimal_uses_largest_message(self):
+        bus = BusConfig.minimal(("A", "B"), largest_message_size=4, ms_per_byte=2.0)
+        assert bus.slot_lengths["A"] == 8.0
+        assert bus.round_length == 16.0
+
+    def test_with_slot_order(self):
+        permuted = _bus().with_slot_order(("N3", "N1", "N2"))
+        assert permuted.slot_start("N3", 0) == 0.0
+        assert permuted.round_length == 35.0
+
+    def test_with_slot_length(self):
+        grown = _bus().with_slot_length("N1", 20.0)
+        assert grown.round_length == 45.0
+
+    def test_validate_for(self):
+        _bus().validate_for(["N1", "N2", "N3"])
+        with pytest.raises(ConfigurationError):
+            _bus().validate_for(["N1", "N2"])
+
+    def test_signature_distinguishes_orders(self):
+        assert _bus().signature() != _bus().with_slot_order(("N2", "N1", "N3")).signature()
+
+
+@given(
+    lengths=st.lists(
+        st.floats(min_value=1.0, max_value=50.0, allow_nan=False),
+        min_size=1,
+        max_size=6,
+    ),
+    time=st.floats(min_value=0.0, max_value=10_000.0, allow_nan=False),
+)
+def test_first_round_never_starts_early(lengths, time):
+    """Property: the returned slot always starts at or after the ready time."""
+    order = tuple(f"N{i}" for i in range(len(lengths)))
+    bus = BusConfig(order, dict(zip(order, lengths)))
+    for node in order:
+        round_index = bus.first_round_at_or_after(node, time)
+        assert bus.slot_start(node, round_index) >= time - 1e-6
+        if round_index > 0:
+            # Minimality: the previous round's slot would start too early.
+            assert bus.slot_start(node, round_index - 1) < time + 1e-6

@@ -1,0 +1,121 @@
+"""Unit tests for frames, the MEDL and the bus scheduler."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ttp.bus import BusConfig
+from repro.ttp.frame import Frame
+from repro.ttp.medl import MEDL, MessageDescriptor
+from repro.ttp.schedule import BusScheduler
+
+
+class TestFrame:
+    def test_packing_tracks_offsets(self):
+        frame = Frame(node="N1", round_index=0, capacity_bytes=4)
+        a = frame.pack("m1", 2)
+        b = frame.pack("m2", 2)
+        assert (a.offset_bytes, a.end_bytes) == (0, 2)
+        assert (b.offset_bytes, b.end_bytes) == (2, 4)
+        assert frame.free_bytes == 0
+
+    def test_overflow_rejected(self):
+        frame = Frame(node="N1", round_index=0, capacity_bytes=3)
+        frame.pack("m1", 2)
+        with pytest.raises(ConfigurationError):
+            frame.pack("m2", 2)
+
+    def test_non_positive_size_rejected(self):
+        frame = Frame(node="N1", round_index=0, capacity_bytes=3)
+        with pytest.raises(ConfigurationError):
+            frame.pack("m1", 0)
+
+
+class TestMEDL:
+    def _descriptor(self, mid="m1", r=0) -> MessageDescriptor:
+        return MessageDescriptor(
+            bus_message_id=mid,
+            sender_node="N1",
+            round_index=r,
+            slot_start=r * 20.0,
+            slot_end=r * 20.0 + 10.0,
+            offset_bytes=0,
+            size_bytes=2,
+        )
+
+    def test_add_and_lookup(self):
+        medl = MEDL()
+        medl.add(self._descriptor())
+        assert medl["m1"].arrival == 10.0
+        assert "m1" in medl
+        assert len(medl) == 1
+
+    def test_duplicate_rejected(self):
+        medl = MEDL()
+        medl.add(self._descriptor())
+        with pytest.raises(ConfigurationError):
+            medl.add(self._descriptor())
+
+    def test_missing_raises(self):
+        with pytest.raises(ConfigurationError):
+            MEDL()["nope"]
+
+    def test_for_node_sorted(self):
+        medl = MEDL()
+        medl.add(self._descriptor("m2", r=1))
+        medl.add(self._descriptor("m1", r=0))
+        assert [d.bus_message_id for d in medl.for_node("N1")] == ["m1", "m2"]
+
+    def test_last_slot_end(self):
+        medl = MEDL()
+        assert medl.last_slot_end() == 0.0
+        medl.add(self._descriptor("m1", r=2))
+        assert medl.last_slot_end() == 50.0
+
+
+class TestBusScheduler:
+    def _bus(self) -> BusConfig:
+        return BusConfig(
+            slot_order=("N1", "N2"),
+            slot_lengths={"N1": 10.0, "N2": 10.0},
+            ms_per_byte=2.5,  # capacity: 4 bytes per frame
+        )
+
+    def test_earliest_slot_at_or_after_ready(self):
+        sched = BusScheduler(self._bus())
+        d = sched.schedule_message("m1", "N1", 2, ready_time=25.0)
+        # N1 slots start at 0, 20, 40...; ready 25 -> round 2 at 40.
+        assert d.round_index == 2
+        assert d.slot_start == 40.0
+        assert d.arrival == 50.0
+
+    def test_frame_packing_shares_slot(self):
+        sched = BusScheduler(self._bus())
+        a = sched.schedule_message("m1", "N1", 2, ready_time=0.0)
+        b = sched.schedule_message("m2", "N1", 2, ready_time=0.0)
+        assert a.round_index == b.round_index == 0
+        assert b.offset_bytes == 2
+
+    def test_full_frame_spills_to_next_round(self):
+        sched = BusScheduler(self._bus())
+        sched.schedule_message("m1", "N1", 4, ready_time=0.0)
+        d = sched.schedule_message("m2", "N1", 1, ready_time=0.0)
+        assert d.round_index == 1
+
+    def test_oversized_message_rejected(self):
+        sched = BusScheduler(self._bus())
+        with pytest.raises(ConfigurationError):
+            sched.schedule_message("m1", "N1", 5, ready_time=0.0)
+
+    def test_senders_use_own_slots(self):
+        sched = BusScheduler(self._bus())
+        d1 = sched.schedule_message("m1", "N1", 1, ready_time=0.0)
+        d2 = sched.schedule_message("m2", "N2", 1, ready_time=0.0)
+        assert d1.slot_start == 0.0
+        assert d2.slot_start == 10.0
+
+    def test_frames_listing(self):
+        sched = BusScheduler(self._bus())
+        sched.schedule_message("m1", "N2", 1, ready_time=0.0)
+        sched.schedule_message("m2", "N1", 1, ready_time=0.0)
+        frames = sched.frames()
+        assert [f.node for f in frames] == ["N1", "N2"]
