@@ -3,9 +3,19 @@
 These track the throughput the design-space exploration depends on: one
 tabu-search iteration evaluates dozens of candidate implementations, each a
 full list-scheduling + worst-case-analysis pass.
+
+``test_pipeline_throughput_records_bench_json`` additionally writes
+``BENCH_scheduler.json`` at the repository root so the performance
+trajectory of the evaluation pipeline is tracked from PR to PR (see
+EXPERIMENTS.md).
 """
 
 from __future__ import annotations
+
+import gc
+import json
+import time
+from pathlib import Path
 
 import pytest
 
@@ -15,6 +25,8 @@ from repro.opt.evaluator import Evaluator
 from repro.opt.initial import initial_bus_access, initial_mpa
 from repro.sim.engine import SystemSimulator
 from repro.sim.faults import FAULT_FREE
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_scheduler.json"
 
 
 def _setup(n, nodes, k):
@@ -40,3 +52,76 @@ def test_fault_injection_throughput(benchmark, n, nodes, k):
     schedule = evaluator.schedule(impl)
     simulator = SystemSimulator(schedule)
     benchmark(simulator.run, FAULT_FREE)
+
+
+def test_pipeline_throughput_records_bench_json():
+    """Measure the 40-process evaluation pipeline and write BENCH_scheduler.json.
+
+    Two numbers are tracked from PR to PR:
+
+    * ``evaluations_per_sec`` — unique design points priced per second by
+      the raw scheduler (one full list-scheduling + worst-case-analysis
+      pass each, cache disabled).  This is the headline throughput the
+      design-space exploration scales with.
+    * ``pipeline`` — a miniature MXR strategy run (greedy + tabu, no time
+      limit) measured through the caching single-pass pipeline: evaluation
+      requests per second and the cache hit rate the strategy achieves.
+    """
+    from repro.opt.strategy import OptimizationConfig, optimize
+
+    case = generate_case(40, 3, 4, mu=5.0, seed=0)
+    merged = merge_application(case.application)
+    bus = initial_bus_access(case.application, case.architecture)
+    impl = initial_mpa(merged, case.architecture, case.faults, bus)
+
+    # Raw scheduler throughput: unique design points priced per second.
+    # Best of three measurement windows, so transient machine load does not
+    # masquerade as a pipeline regression in the recorded trajectory; the
+    # cyclic GC is suspended during the windows so collector pauses over
+    # the test harness's own module graph don't pollute the number.
+    raw = Evaluator(merged, case.faults, cache=False)
+    raw.evaluate(impl)  # warm-up
+    n_raw = 60
+    raw_elapsed = float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(3):
+            started = time.perf_counter()
+            for _ in range(n_raw):
+                raw.evaluate(impl)
+            raw_elapsed = min(raw_elapsed, time.perf_counter() - started)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    evaluations_per_sec = n_raw / raw_elapsed
+
+    # Full single-pass pipeline: one scaled-down strategy run.
+    config = OptimizationConfig(
+        minimize=True, rounds=1, greedy_max_iterations=3,
+        tabu_max_iterations=3, time_limit_s=None,
+    )
+    started = time.perf_counter()
+    result = optimize(
+        case.application, case.architecture, case.faults, "MXR", config
+    )
+    pipeline_elapsed = time.perf_counter() - started
+    requests = result.evaluations + result.cache_hits
+
+    record = {
+        "case": {"n_processes": 40, "n_nodes": 3, "k": 4, "mu": 5.0, "seed": 0},
+        "evaluations_per_sec": round(evaluations_per_sec, 1),
+        "pipeline": {
+            "requests_per_sec": round(requests / pipeline_elapsed, 1),
+            "cache_hit_rate": round(
+                result.cache_hits / requests if requests else 0.0, 4
+            ),
+            "evaluations": result.evaluations,  # list_schedule passes (cache misses)
+            "elapsed_s": round(pipeline_elapsed, 3),
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    assert record["evaluations_per_sec"] > 0
+    assert 0.0 <= record["pipeline"]["cache_hit_rate"] < 1.0
+    assert result.evaluations > 0

@@ -35,6 +35,13 @@ def _progress(line: str) -> None:
     print(f"  .. {line}", file=sys.stderr)
 
 
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {number}")
+    return number
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seeds", type=int, default=3, help="random apps per row")
     parser.add_argument(
@@ -42,6 +49,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=1.0,
         help="multiply per-size search budgets (>=10 approaches paper scale)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help=(
+            "worker processes for the experiment sweep (1 = serial; results "
+            "are aggregated in deterministic job order either way)"
+        ),
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-case progress lines"
@@ -54,6 +70,15 @@ def main(argv: list[str] | None = None) -> int:
         description=(
             "Fault-tolerant distributed embedded system design optimization "
             "(reproduction of Izosimov et al., DATE 2005)"
+        ),
+        epilog=(
+            "The table1a/b/c and figure10 sweeps accept --jobs N to fan the "
+            "independent (case, variant, seed) optimizations out over N "
+            "worker processes; --jobs 1 (the default) runs serially.  Both "
+            "paths aggregate results in the same deterministic job order, "
+            "so the printed tables are identical (time-limited searches are "
+            "identical as long as the wall-clock budget is not the binding "
+            "constraint; see EXPERIMENTS.md)."
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -104,19 +129,31 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "table1a":
         seeds = tuple(range(args.seeds))
-        rows = table1a(seeds=seeds, time_scale=args.time_scale, progress=progress)
+        rows = table1a(
+            seeds=seeds, time_scale=args.time_scale, progress=progress,
+            jobs=args.jobs,
+        )
         print(format_table1(rows, "Table 1a: MXR overhead vs application size"))
     elif args.command == "table1b":
         seeds = tuple(range(args.seeds))
-        rows = table1b(seeds=seeds, time_scale=args.time_scale, progress=progress)
+        rows = table1b(
+            seeds=seeds, time_scale=args.time_scale, progress=progress,
+            jobs=args.jobs,
+        )
         print(format_table1(rows, "Table 1b: MXR overhead vs number of faults"))
     elif args.command == "table1c":
         seeds = tuple(range(args.seeds))
-        rows = table1c(seeds=seeds, time_scale=args.time_scale, progress=progress)
+        rows = table1c(
+            seeds=seeds, time_scale=args.time_scale, progress=progress,
+            jobs=args.jobs,
+        )
         print(format_table1(rows, "Table 1c: MXR overhead vs fault duration"))
     elif args.command == "figure10":
         seeds = tuple(range(args.seeds))
-        rows = figure10(seeds=seeds, time_scale=args.time_scale, progress=progress)
+        rows = figure10(
+            seeds=seeds, time_scale=args.time_scale, progress=progress,
+            jobs=args.jobs,
+        )
         print(format_figure10(rows))
     elif args.command == "cc":
         print(format_cruise(run_cruise_experiment()))

@@ -2,16 +2,20 @@
 
 from repro.experiments.cruise import CruiseResult, run_cruise_experiment
 from repro.experiments.figure10 import Figure10Row, figure10
+from repro.experiments.parallel import CaseJob, run_case_job, run_case_jobs
 from repro.experiments.runner import VariantRun, budget_for, run_variants
 from repro.experiments.table1 import Table1Row, table1a, table1b, table1c
 
 __all__ = [
+    "CaseJob",
     "CruiseResult",
     "Figure10Row",
     "Table1Row",
     "VariantRun",
     "budget_for",
     "figure10",
+    "run_case_job",
+    "run_case_jobs",
     "run_cruise_experiment",
     "run_variants",
     "table1a",

@@ -16,8 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro.experiments.runner import run_variants
-from repro.gen.suite import TABLE1A_DIMENSIONS, generate_case
+from repro.experiments.parallel import run_case_jobs, sweep_jobs
+from repro.gen.suite import TABLE1A_DIMENSIONS
+from repro.opt.strategy import OptimizationConfig
 
 
 @dataclass(frozen=True)
@@ -40,27 +41,32 @@ def figure10(
     mu: float = 5.0,
     time_scale: float = 1.0,
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    config: OptimizationConfig | None = None,
 ) -> list[Figure10Row]:
     """Regenerate the Figure 10 series."""
+    job_list = sweep_jobs(
+        dimensions,
+        seeds,
+        ("MXR", "MX", "MR", "SFX"),
+        mu,
+        time_scale,
+        config,
+        tag="figure10",
+    )
+    results = run_case_jobs(job_list, n_jobs=jobs, progress=progress)
+
     rows: list[Figure10Row] = []
-    for n_processes, n_nodes, k in dimensions:
+    index = 0
+    for n_processes, _, _ in dimensions:
         deviations: dict[str, list[float]] = {"MX": [], "MR": [], "SFX": []}
-        for seed in seeds:
-            case = generate_case(n_processes, n_nodes, k, mu=mu, seed=seed)
-            runs = run_variants(
-                case, ("MXR", "MX", "MR", "SFX"), time_scale=time_scale
-            )
+        for _ in seeds:
+            runs = results[index]
+            index += 1
             mxr = runs["MXR"].makespan
             for variant in ("MX", "MR", "SFX"):
                 deviation = 100.0 * (runs[variant].makespan - mxr) / mxr
                 deviations[variant].append(deviation)
-            if progress is not None:
-                progress(
-                    f"figure10 {n_processes}p seed {seed}: "
-                    + " ".join(
-                        f"{v}={deviations[v][-1]:.1f}%" for v in ("MX", "MR", "SFX")
-                    )
-                )
         rows.append(
             Figure10Row(
                 n_processes=n_processes,

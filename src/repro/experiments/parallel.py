@@ -1,0 +1,138 @@
+"""Parallel experiment fan-out over ``(case, variant, seed)`` jobs.
+
+The Table 1 and Figure 10 sweeps optimize dozens of independent random
+applications; nothing couples the jobs, so they fan out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Jobs are described by
+their *generation parameters* (not by the generated objects): each worker
+regenerates its case from the deterministic seed, which keeps the job
+payloads trivially picklable and guarantees the worker sees exactly the
+case the serial path would have built.
+
+Result ordering is deterministic: :func:`run_case_jobs` returns results in
+submission order regardless of completion order, so aggregation code is
+shared between the serial (``n_jobs == 1``) and parallel paths and both
+produce identical tables (identical up to search-budget wall-clock effects;
+pass a config without ``time_limit_s`` for bit-identical runs).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import VariantRun, run_variants
+from repro.gen.suite import generate_case
+from repro.opt.strategy import OptimizationConfig
+
+
+@dataclass(frozen=True)
+class CaseJob:
+    """One experiment job: optimize one generated case under some variants."""
+
+    n_processes: int
+    n_nodes: int
+    k: int
+    mu: float
+    seed: int
+    variants: tuple[str, ...]
+    time_scale: float = 1.0
+    config: OptimizationConfig | None = None
+    label: str = ""
+
+    def describe(self) -> str:
+        if self.label:
+            return self.label
+        return (
+            f"{self.n_processes}p/{self.n_nodes}n k={self.k} mu={self.mu:g} "
+            f"seed {self.seed} [{','.join(self.variants)}]"
+        )
+
+
+def run_case_job(job: CaseJob) -> dict[str, VariantRun]:
+    """Regenerate and optimize one job's case (executed in the worker)."""
+    case = generate_case(
+        job.n_processes, job.n_nodes, job.k, mu=job.mu, seed=job.seed
+    )
+    return run_variants(
+        case, job.variants, time_scale=job.time_scale, config=job.config
+    )
+
+
+def run_case_jobs(
+    jobs: Iterable[CaseJob],
+    n_jobs: int = 1,
+    progress: Callable[[str], None] | None = None,
+) -> list[dict[str, VariantRun]]:
+    """Run every job and return results in submission order.
+
+    ``n_jobs == 1`` executes in-process (the serial path of the CLI);
+    ``n_jobs > 1`` fans out over a process pool.  Either way the result list
+    aligns index-for-index with the input job list.
+    """
+    job_list = list(jobs)
+    if n_jobs < 1:
+        raise ConfigurationError(f"n_jobs must be >= 1, got {n_jobs}")
+    if n_jobs == 1 or len(job_list) <= 1:
+        results: list[dict[str, VariantRun]] = []
+        for index, job in enumerate(job_list):
+            started = time.monotonic()
+            results.append(run_case_job(job))
+            if progress is not None:
+                progress(
+                    f"[{index + 1}/{len(job_list)}] {job.describe()} "
+                    f"({time.monotonic() - started:.1f}s)"
+                )
+        return results
+
+    slots: list[dict[str, VariantRun] | None] = [None] * len(job_list)
+    workers = min(n_jobs, len(job_list))
+    done = 0
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            pool.submit(run_case_job, job): index
+            for index, job in enumerate(job_list)
+        }
+        for future in as_completed(futures):
+            index = futures[future]
+            slots[index] = future.result()
+            done += 1
+            if progress is not None:
+                progress(
+                    f"[{done}/{len(job_list)}] {job_list[index].describe()}"
+                )
+    # Aggregators consume results positionally: fail loudly rather than
+    # silently shifting rows if a slot were ever left unfilled.
+    missing = [i for i, result in enumerate(slots) if result is None]
+    if missing:
+        raise RuntimeError(f"jobs {missing} completed without a result")
+    return slots  # type: ignore[return-value]
+
+
+def sweep_jobs(
+    dimensions: Sequence[tuple[int, int, int]],
+    seeds: Sequence[int],
+    variants: tuple[str, ...],
+    mu: float,
+    time_scale: float,
+    config: OptimizationConfig | None = None,
+    tag: str = "",
+) -> list[CaseJob]:
+    """The job list of one ``(dimensions x seeds)`` sweep, one job per case."""
+    return [
+        CaseJob(
+            n_processes=n_processes,
+            n_nodes=n_nodes,
+            k=k,
+            mu=mu,
+            seed=seed,
+            variants=variants,
+            time_scale=time_scale,
+            config=config,
+            label=f"{tag} {n_processes}p seed {seed}".strip(),
+        )
+        for n_processes, n_nodes, k in dimensions
+        for seed in seeds
+    ]

@@ -9,6 +9,11 @@ applications of one dimension.
 * Table 1b — fault count sweep (60 processes, 4 nodes, k ∈ {2,4,6,8,10});
 * Table 1c — fault duration sweep (20 processes, 2 nodes, k = 3,
   µ ∈ {1,5,10,15,20} ms).
+
+Every sweep expands into independent ``(case, variant, seed)`` jobs executed
+by :func:`repro.experiments.parallel.run_case_jobs`; ``jobs=1`` preserves
+the serial path, ``jobs=N`` fans out over N processes with identical result
+aggregation (see EXPERIMENTS.md).
 """
 
 from __future__ import annotations
@@ -16,8 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro.gen.suite import TABLE1A_DIMENSIONS, generate_case
-from repro.experiments.runner import budget_for, run_variants
+from repro.experiments.parallel import CaseJob, run_case_jobs, sweep_jobs
+from repro.gen.suite import TABLE1A_DIMENSIONS
+from repro.opt.strategy import OptimizationConfig
 
 
 @dataclass(frozen=True)
@@ -49,22 +55,52 @@ def table1a(
     mu: float = 5.0,
     time_scale: float = 1.0,
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    config: OptimizationConfig | None = None,
 ) -> list[Table1Row]:
     """Overhead versus application size (paper Table 1a)."""
+    job_list = sweep_jobs(
+        dimensions, seeds, ("NFT", "MXR"), mu, time_scale, config, tag="table1a"
+    )
+    results = run_case_jobs(job_list, n_jobs=jobs, progress=progress)
+
     rows: list[Table1Row] = []
-    for n_processes, n_nodes, k in dimensions:
+    index = 0
+    for n_processes, _, _ in dimensions:
         overheads: list[float] = []
-        for seed in seeds:
-            case = generate_case(n_processes, n_nodes, k, mu=mu, seed=seed)
-            runs = run_variants(case, ("NFT", "MXR"), time_scale=time_scale)
+        for _ in seeds:
+            runs = results[index]
+            index += 1
             overheads.append(runs["MXR"].overhead_vs(runs["NFT"]))
-            if progress is not None:
-                progress(
-                    f"table1a {n_processes}p seed {seed}: "
-                    f"overhead {overheads[-1]:.1f}%"
-                )
         rows.append(Table1Row.from_overheads(f"{n_processes} procs", overheads))
     return rows
+
+
+def _reference_jobs(
+    seeds: Sequence[int],
+    n_processes: int,
+    n_nodes: int,
+    k: int,
+    mu: float,
+    time_scale: float,
+    config: OptimizationConfig | None,
+    tag: str,
+) -> list[CaseJob]:
+    """NFT reference jobs (the baseline does not depend on the swept axis)."""
+    return [
+        CaseJob(
+            n_processes=n_processes,
+            n_nodes=n_nodes,
+            k=k,
+            mu=mu,
+            seed=seed,
+            variants=("NFT",),
+            time_scale=time_scale,
+            config=config,
+            label=f"{tag} NFT reference seed {seed}",
+        )
+        for seed in seeds
+    ]
 
 
 def table1b(
@@ -75,27 +111,46 @@ def table1b(
     mu: float = 5.0,
     time_scale: float = 1.0,
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    config: OptimizationConfig | None = None,
 ) -> list[Table1Row]:
     """Overhead versus number of faults k (paper Table 1b).
 
-    NFT does not depend on k, so its schedule is derived once per seed.
+    NFT does not depend on k, so its schedule is derived once per seed; the
+    reference jobs fan out together with the MXR sweep jobs.
     """
-    reference: dict[int, float] = {}
-    for seed in seeds:
-        case = generate_case(n_processes, n_nodes, k=1, mu=mu, seed=seed)
-        runs = run_variants(case, ("NFT",), time_scale=time_scale)
-        reference[seed] = runs["NFT"].makespan
+    ref_jobs = _reference_jobs(
+        seeds, n_processes, n_nodes, 1, mu, time_scale, config, "table1b"
+    )
+    mxr_jobs = [
+        CaseJob(
+            n_processes=n_processes,
+            n_nodes=n_nodes,
+            k=k,
+            mu=mu,
+            seed=seed,
+            variants=("MXR",),
+            time_scale=time_scale,
+            config=config,
+            label=f"table1b k={k} seed {seed}",
+        )
+        for k in fault_counts
+        for seed in seeds
+    ]
+    results = run_case_jobs(ref_jobs + mxr_jobs, n_jobs=jobs, progress=progress)
+    reference = {
+        seed: results[i]["NFT"].makespan for i, seed in enumerate(seeds)
+    }
 
     rows: list[Table1Row] = []
+    index = len(seeds)
     for k in fault_counts:
         overheads: list[float] = []
         for seed in seeds:
-            case = generate_case(n_processes, n_nodes, k=k, mu=mu, seed=seed)
-            runs = run_variants(case, ("MXR",), time_scale=time_scale)
-            overhead = 100.0 * (runs["MXR"].makespan - reference[seed]) / reference[seed]
+            makespan = results[index]["MXR"].makespan
+            index += 1
+            overhead = 100.0 * (makespan - reference[seed]) / reference[seed]
             overheads.append(overhead)
-            if progress is not None:
-                progress(f"table1b k={k} seed {seed}: overhead {overhead:.1f}%")
         rows.append(Table1Row.from_overheads(f"k = {k}", overheads))
     return rows
 
@@ -108,23 +163,41 @@ def table1c(
     k: int = 3,
     time_scale: float = 1.0,
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    config: OptimizationConfig | None = None,
 ) -> list[Table1Row]:
     """Overhead versus fault duration µ (paper Table 1c)."""
-    reference: dict[int, float] = {}
-    for seed in seeds:
-        case = generate_case(n_processes, n_nodes, k=k, mu=5.0, seed=seed)
-        runs = run_variants(case, ("NFT",), time_scale=time_scale)
-        reference[seed] = runs["NFT"].makespan
+    ref_jobs = _reference_jobs(
+        seeds, n_processes, n_nodes, k, 5.0, time_scale, config, "table1c"
+    )
+    mxr_jobs = [
+        CaseJob(
+            n_processes=n_processes,
+            n_nodes=n_nodes,
+            k=k,
+            mu=mu,
+            seed=seed,
+            variants=("MXR",),
+            time_scale=time_scale,
+            config=config,
+            label=f"table1c mu={mu:g} seed {seed}",
+        )
+        for mu in fault_durations
+        for seed in seeds
+    ]
+    results = run_case_jobs(ref_jobs + mxr_jobs, n_jobs=jobs, progress=progress)
+    reference = {
+        seed: results[i]["NFT"].makespan for i, seed in enumerate(seeds)
+    }
 
     rows: list[Table1Row] = []
+    index = len(seeds)
     for mu in fault_durations:
         overheads: list[float] = []
         for seed in seeds:
-            case = generate_case(n_processes, n_nodes, k=k, mu=mu, seed=seed)
-            runs = run_variants(case, ("MXR",), time_scale=time_scale)
-            overhead = 100.0 * (runs["MXR"].makespan - reference[seed]) / reference[seed]
+            makespan = results[index]["MXR"].makespan
+            index += 1
+            overhead = 100.0 * (makespan - reference[seed]) / reference[seed]
             overheads.append(overhead)
-            if progress is not None:
-                progress(f"table1c mu={mu} seed {seed}: overhead {overhead:.1f}%")
         rows.append(Table1Row.from_overheads(f"mu = {mu:g} ms", overheads))
     return rows

@@ -149,6 +149,18 @@ class ProcessGraph:
         self.deadline = deadline
         self._graph = nx.DiGraph()
         self._messages: dict[str, Message] = {}
+        # Memoized topology views.  The merged graph is evaluated thousands
+        # of times per optimization run while its structure never changes,
+        # so the per-process message lists must not be rebuilt from the
+        # underlying graph on every candidate evaluation.
+        self._processes_cache: dict[str, Process] | None = None
+        self._in_cache: dict[str, list[Message]] | None = None
+        self._out_cache: dict[str, list[Message]] | None = None
+
+    def _invalidate_caches(self) -> None:
+        self._processes_cache = None
+        self._in_cache = None
+        self._out_cache = None
 
     # -- construction -----------------------------------------------------
 
@@ -157,6 +169,7 @@ class ProcessGraph:
         if process.name in self._graph:
             raise ModelError(f"duplicate process {process.name!r} in {self.name!r}")
         self._graph.add_node(process.name, process=process)
+        self._invalidate_caches()
         return process
 
     def add_message(self, message: Message) -> Message:
@@ -175,6 +188,7 @@ class ProcessGraph:
             )
         self._graph.add_edge(message.src, message.dst, message=message)
         self._messages[message.name] = message
+        self._invalidate_caches()
         return message
 
     def connect(self, src: str, dst: str, size: int = 1, name: str | None = None) -> Message:
@@ -187,8 +201,16 @@ class ProcessGraph:
 
     @property
     def processes(self) -> dict[str, Process]:
-        """All processes keyed by name (insertion order preserved)."""
-        return {n: d["process"] for n, d in self._graph.nodes(data=True)}
+        """All processes keyed by name (insertion order preserved).
+
+        Returns a fresh dict (callers may mutate it freely); the memoized
+        view behind it avoids rebuilding from the graph on the hot path.
+        """
+        if self._processes_cache is None:
+            self._processes_cache = {
+                n: d["process"] for n, d in self._graph.nodes(data=True)
+            }
+        return dict(self._processes_cache)
 
     @property
     def messages(self) -> dict[str, Message]:
@@ -218,15 +240,27 @@ class ProcessGraph:
 
     def in_messages(self, name: str) -> list[Message]:
         """Messages feeding ``name``, ordered by sender name."""
-        return [
-            self._graph.edges[p, name]["message"] for p in self.predecessors(name)
-        ]
+        if self._in_cache is None:
+            self._in_cache = {
+                n: [
+                    self._graph.edges[p, n]["message"]
+                    for p in self.predecessors(n)
+                ]
+                for n in self._graph
+            }
+        return list(self._in_cache[name])
 
     def out_messages(self, name: str) -> list[Message]:
         """Messages produced by ``name``, ordered by receiver name."""
-        return [
-            self._graph.edges[name, s]["message"] for s in self.successors(name)
-        ]
+        if self._out_cache is None:
+            self._out_cache = {
+                n: [
+                    self._graph.edges[n, s]["message"]
+                    for s in self.successors(n)
+                ]
+                for n in self._graph
+            }
+        return list(self._out_cache[name])
 
     def edge_message(self, src: str, dst: str) -> Message:
         try:

@@ -17,7 +17,8 @@ the list scheduler and the worst-case analysis operate on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import heapq
+from dataclasses import dataclass, field
 
 import networkx as nx
 
@@ -33,7 +34,9 @@ def instance_id(process: str, replica: int) -> str:
     return f"{process}:r{replica}"
 
 
-@dataclass(frozen=True)
+
+
+@dataclass(frozen=True, slots=True)
 class Instance:
     """One replica of one process, bound to a node."""
 
@@ -68,7 +71,7 @@ class InputGroup:
     sources: tuple[str, ...]  # sender instance ids, replica order
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BusMessage:
     """A broadcast frame payload: one sender instance, one original message.
 
@@ -88,11 +91,13 @@ class BusMessage:
     sender: str  # instance id
     message: Message
     kind: str = "masked"
+    id: str = field(init=False)  # derived key, precomputed once
 
-    @property
-    def id(self) -> str:
+    def __post_init__(self) -> None:
         suffix = "#g" if self.kind == "guaranteed" else ""
-        return f"{self.message.name}[{self.sender}]{suffix}"
+        object.__setattr__(
+            self, "id", f"{self.message.name}[{self.sender}]{suffix}"
+        )
 
 
 class FTGraph:
@@ -104,7 +109,23 @@ class FTGraph:
         self.inputs: dict[str, tuple[InputGroup, ...]] = {}
         self.bus_messages: dict[str, BusMessage] = {}  # keyed by BusMessage.id
         self._out_bus: dict[str, list[BusMessage]] = {}  # sender instance -> frames
-        self._digraph = nx.DiGraph()
+        # Plain adjacency dicts: the FT graph is rebuilt for every candidate
+        # implementation, so edge bookkeeping sits on the optimizer's hot
+        # path and must not pay generic-graph-library overhead.
+        self._succ: dict[str, list[str]] = {}
+        self._pred: dict[str, list[str]] = {}
+        self._edges: set[tuple[str, str]] = set()
+
+    def _add_node(self, iid: str) -> None:
+        self._succ.setdefault(iid, [])
+        self._pred.setdefault(iid, [])
+
+    def _add_edge(self, src: str, dst: str) -> None:
+        if (src, dst) in self._edges:
+            return
+        self._edges.add((src, dst))
+        self._succ[src].append(dst)
+        self._pred[dst].append(src)
 
     # -- queries -----------------------------------------------------------
 
@@ -124,21 +145,42 @@ class FTGraph:
         return self.inputs.get(iid, ())
 
     def outgoing_bus_messages(self, iid: str) -> list[BusMessage]:
-        """Bus frames instance ``iid`` must transmit (possibly empty)."""
-        return list(self._out_bus.get(iid, ()))
+        """Bus frames instance ``iid`` must transmit (possibly empty).
+
+        A non-empty result is the internal list (hot path); callers must
+        not mutate it.
+        """
+        messages = self._out_bus.get(iid)
+        return messages if messages is not None else []
 
     def topological_order(self) -> list[str]:
-        """Deterministic topological order over instance ids."""
-        return list(nx.lexicographical_topological_sort(self._digraph))
+        """Deterministic (lexicographic) topological order over instance ids."""
+        remaining = {iid: len(preds) for iid, preds in self._pred.items()}
+        ready = [iid for iid, count in remaining.items() if count == 0]
+        heapq.heapify(ready)
+        order: list[str] = []
+        while ready:
+            iid = heapq.heappop(ready)
+            order.append(iid)
+            for succ in self._succ[iid]:
+                remaining[succ] -= 1
+                if remaining[succ] == 0:
+                    heapq.heappush(ready, succ)
+        if len(order) != len(self._succ):
+            raise ModelError("FT graph contains a cycle")
+        return order
 
     def to_networkx(self) -> nx.DiGraph:
-        return self._digraph.copy()
+        digraph = nx.DiGraph()
+        digraph.add_nodes_from(self._succ)
+        digraph.add_edges_from(self._edges)
+        return digraph
 
     def predecessors(self, iid: str) -> list[str]:
-        return sorted(self._digraph.predecessors(iid))
+        return sorted(self._pred[iid])
 
     def successors(self, iid: str) -> list[str]:
-        return sorted(self._digraph.successors(iid))
+        return sorted(self._succ[iid])
 
     def __len__(self) -> int:
         return len(self.instances)
@@ -186,7 +228,7 @@ def build_ft_graph(
                 checkpoints=policy.checkpoints,
             )
             ft.instances[iid] = inst
-            ft._digraph.add_node(iid)
+            ft._add_node(iid)
             ids.append(iid)
         ft.group_of[name] = tuple(ids)
 
@@ -198,7 +240,7 @@ def build_ft_graph(
             groups.append(InputGroup(message=message, sources=sources))
             for src_iid in sources:
                 for dst_iid in receivers:
-                    ft._digraph.add_edge(src_iid, dst_iid)
+                    ft._add_edge(src_iid, dst_iid)
         for dst_iid in receivers:
             ft.inputs[dst_iid] = tuple(groups)
 
@@ -218,10 +260,10 @@ def _collect_bus_messages(graph: ProcessGraph, ft: FTGraph) -> None:
         group = ft.group_of[name]
         for message in graph.out_messages(name):
             receiver_nodes = {
-                ft.instance(iid).node for iid in ft.group_of[message.dst]
+                ft.instances[iid].node for iid in ft.group_of[message.dst]
             }
             for src_iid in group:
-                sender = ft.instance(src_iid)
+                sender = ft.instances[src_iid]
                 if not receiver_nodes - {sender.node}:
                     continue
                 if len(group) == 1:

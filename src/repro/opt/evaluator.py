@@ -1,13 +1,18 @@
 """Candidate evaluation: list-schedule an implementation and price it.
 
-Tabu search revisits design points frequently, so costs are cached by the
-implementation's canonical signature.  Schedules themselves are *not* cached
-(they are large); :meth:`Evaluator.schedule` recomputes the one schedule the
-caller actually needs — typically the current solution, for critical-path
-extraction.
+Tabu search revisits design points frequently, so evaluation results are
+cached by the implementation's canonical signature.  The cache is a bounded
+LRU holding the *full* evaluation — cost **and** schedule — so one
+:func:`repro.schedule.list_scheduler.list_schedule` pass serves both the
+pricing of a candidate and the critical-path extraction the search performs
+on the chosen solution.  :meth:`Evaluator.evaluate_full` is the single entry
+point of that pipeline; :meth:`evaluate` and :meth:`schedule` are thin views
+of it kept for callers that need only one half.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 from repro.model.application import ProcessGraph
 from repro.model.fault import FaultModel
@@ -15,6 +20,15 @@ from repro.opt.cost import Cost
 from repro.opt.implementation import Implementation
 from repro.schedule.list_scheduler import list_schedule
 from repro.schedule.table import SystemSchedule
+
+#: Default bound of the LRU schedule cache.  A tabu neighbourhood holds a
+#: few dozen candidates and the search keeps a handful of neighbourhoods
+#: alive (current, best-so-far, recent history), so a few hundred entries
+#: give good hit rates.  The bound matters beyond memory: every retained
+#: schedule is a large tracked object graph the cyclic GC re-scans, so an
+#: oversized cache costs more in collector time than the extra hits save
+#: (measured on the 20-process MXR strategy run; see DESIGN.md).
+DEFAULT_CACHE_SIZE = 256
 
 
 class Evaluator:
@@ -25,22 +39,48 @@ class Evaluator:
         merged: ProcessGraph,
         faults: FaultModel,
         cache: bool = True,
+        cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> None:
         self.merged = merged
         self.faults = faults
         self.evaluations = 0
         self.cache_hits = 0
-        self._cache: dict[tuple, Cost] | None = {} if cache else None
+        self._cache_size = cache_size
+        self._cache: (
+            OrderedDict[tuple, tuple[Cost, SystemSchedule]] | None
+        ) = OrderedDict() if cache else None
 
-    def schedule(self, implementation: Implementation) -> SystemSchedule:
-        """Full schedule for ``implementation`` (never cached)."""
-        return list_schedule(
+    def evaluate_full(
+        self, implementation: Implementation
+    ) -> tuple[Cost, SystemSchedule]:
+        """Cost and schedule of ``implementation`` in one scheduling pass."""
+        cache = self._cache
+        signature = None
+        if cache is not None:
+            signature = implementation.signature()
+            cached = cache.get(signature)
+            if cached is not None:
+                cache.move_to_end(signature)
+                self.cache_hits += 1
+                return cached
+        self.evaluations += 1
+        schedule = list_schedule(
             self.merged,
             self.faults,
             implementation.policies,
             implementation.mapping,
             implementation.bus,
         )
+        cost = self.cost_of(schedule)
+        if cache is not None:
+            cache[signature] = (cost, schedule)
+            if len(cache) > self._cache_size:
+                cache.popitem(last=False)
+        return cost, schedule
+
+    def schedule(self, implementation: Implementation) -> SystemSchedule:
+        """Full schedule for ``implementation`` (served from the LRU cache)."""
+        return self.evaluate_full(implementation)[1]
 
     def cost_of(self, schedule: SystemSchedule) -> Cost:
         degree = schedule.degree_of_schedulability()
@@ -52,15 +92,12 @@ class Evaluator:
 
     def evaluate(self, implementation: Implementation) -> Cost:
         """Cost of ``implementation`` (cached by design signature)."""
-        signature = None
-        if self._cache is not None:
-            signature = implementation.signature()
-            cached = self._cache.get(signature)
-            if cached is not None:
-                self.cache_hits += 1
-                return cached
-        self.evaluations += 1
-        cost = self.cost_of(self.schedule(implementation))
-        if self._cache is not None and signature is not None:
-            self._cache[signature] = cost
-        return cost
+        return self.evaluate_full(implementation)[0]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of evaluation requests served from the cache."""
+        total = self.evaluations + self.cache_hits
+        if total == 0:
+            return 0.0
+        return self.cache_hits / total

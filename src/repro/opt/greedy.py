@@ -43,7 +43,7 @@ def greedy_mpa(
 ) -> SearchOutcome:
     """Greedily improve ``start``; returns the last (best) solution found."""
     current = start
-    current_cost = evaluator.evaluate(current)
+    current_cost, current_schedule = evaluator.evaluate_full(current)
     outcome = SearchOutcome(
         implementation=current, cost=current_cost, history=[current_cost]
     )
@@ -54,26 +54,32 @@ def greedy_mpa(
             break
         if deadline is not None and time.monotonic() > deadline:
             break
-        schedule = evaluator.schedule(current)
         moves = generate_moves(
             merged,
             faults,
             current,
-            schedule.critical_path(),
+            current_schedule.critical_path(),
             replica_counts,
             checkpoint_segments,
         )
-        best_move = None
+        # Single-pass evaluation: each candidate is priced and scheduled in
+        # one list_schedule call; the winner's implementation and schedule
+        # are reused directly instead of re-applying the move.
+        best_candidate = None
         best_cost = current_cost
+        best_schedule = None
         for move in moves:
-            cost = evaluator.evaluate(move.apply(current))
+            candidate = move.apply(current)
+            cost, schedule = evaluator.evaluate_full(candidate)
             if cost.is_better_than(best_cost):
+                best_candidate = candidate
                 best_cost = cost
-                best_move = move
-        if best_move is None:
+                best_schedule = schedule
+        if best_candidate is None:
             break
-        current = best_move.apply(current)
+        current = best_candidate
         current_cost = best_cost
+        current_schedule = best_schedule
         outcome.iterations += 1
         outcome.history.append(current_cost)
 

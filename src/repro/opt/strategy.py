@@ -193,12 +193,12 @@ def optimize(
     current = initial_mpa(
         merged, architecture, effective_faults, bus, initial_replicas
     )
-    cost = evaluator.evaluate(current)
+    cost, initial_schedule = evaluator.evaluate_full(current)
 
     result = OptimizationResult(
         variant=spec.name,
         implementation=current,
-        schedule=evaluator.schedule(current),
+        schedule=initial_schedule,
         cost=cost,
         faults=effective_faults,
         merged=merged,
@@ -315,11 +315,11 @@ def _run_sfx(
                 name, place_replicas(process, policy.n_replicas, primary, load)
             )
 
-    cost = evaluator.evaluate(implementation)
+    cost, schedule = evaluator.evaluate_full(implementation)
     result = OptimizationResult(
         variant="SFX",
         implementation=implementation,
-        schedule=evaluator.schedule(implementation),
+        schedule=schedule,
         cost=cost,
         faults=faults,
         merged=merged,

@@ -26,6 +26,7 @@ from repro.opt.evaluator import Evaluator
 from repro.opt.greedy import SearchOutcome
 from repro.opt.implementation import Implementation
 from repro.opt.moves import Move, generate_moves
+from repro.schedule.table import SystemSchedule
 
 
 def tabu_search_mpa(
@@ -50,8 +51,7 @@ def tabu_search_mpa(
 
     x_now = start
     best = start
-    best_cost = evaluator.evaluate(start)
-    now_cost = best_cost
+    best_cost, now_schedule = evaluator.evaluate_full(start)
     outcome = SearchOutcome(implementation=best, cost=best_cost, history=[best_cost])
     deadline = None if time_limit_s is None else time.monotonic() + time_limit_s
 
@@ -61,8 +61,7 @@ def tabu_search_mpa(
         if deadline is not None and time.monotonic() > deadline:
             break
 
-        schedule = evaluator.schedule(x_now)
-        critical_path = schedule.critical_path()
+        critical_path = now_schedule.critical_path()
         moves = generate_moves(
             merged, faults, x_now, critical_path, replica_counts,
             checkpoint_segments,
@@ -70,15 +69,26 @@ def tabu_search_mpa(
         if not moves:
             break
 
-        evaluated: list[tuple[Move, Cost]] = [
-            (move, evaluator.evaluate(move.apply(x_now))) for move in moves
-        ]
-        chosen = _select_move(evaluated, tabu, wait, best_cost, graph_size)
+        # Single-pass evaluation: every candidate is built and scheduled
+        # exactly once; the chosen move's implementation and schedule are
+        # reused below instead of re-applying the move and re-scheduling.
+        candidates: list[tuple[Move, Implementation, Cost, SystemSchedule]] = []
+        for move in moves:
+            candidate = move.apply(x_now)
+            cost, schedule = evaluator.evaluate_full(candidate)
+            candidates.append((move, candidate, cost, schedule))
+        chosen = _select_move(
+            [(move, cost) for move, _, cost, _ in candidates],
+            tabu, wait, best_cost, graph_size,
+        )
         if chosen is None:
             break
         move, now_cost = chosen
-
-        x_now = move.apply(x_now)
+        x_now, now_schedule = next(
+            (impl, schedule)
+            for m, impl, _, schedule in candidates
+            if m is move
+        )
         outcome.iterations += 1
         outcome.history.append(now_cost)
         if now_cost.is_better_than(best_cost):

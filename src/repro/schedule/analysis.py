@@ -47,11 +47,11 @@ from repro.model.ftgraph import Instance
 _NEG_INF = float("-inf")
 
 
-def group_guaranteed_arrival(
+def group_survivor_index(
     arrivals: list[tuple[float, int]],
     budget: int,
-) -> float:
-    """Guaranteed arrival of a replica group's data under ``budget`` kills.
+) -> int:
+    """Index of the surviving entry under ``budget`` kills (see below).
 
     ``arrivals`` is a list of ``(arrival_time, kill_cost)`` pairs sorted by
     arrival time.  The adversary delays the receiver most by terminally
@@ -59,23 +59,65 @@ def group_guaranteed_arrival(
     replica it cannot afford (killing a *later* replica while an earlier one
     survives gains nothing).  At least one replica always survives because a
     valid policy prices the whole group above ``k``.
+
+    Returning the *index* (not the arrival time) lets callers identify the
+    surviving entry even when several entries arrive at the identical time —
+    a float-equality lookup would name the first tied entry, which may be a
+    replica the adversary already killed.
     """
     if not arrivals:
         raise SchedulingError("replica group with no arrivals")
     spent = 0
     index = 0
     last = len(arrivals) - 1
-    for arrival_time, kill_cost in arrivals:
+    for _, kill_cost in arrivals:
         if index == last:
             break
         if spent + kill_cost > budget:
             break
         spent += kill_cost
         index += 1
-    return arrivals[index][0]
+    return index
 
 
-@dataclass(frozen=True)
+def group_survivor_indices(
+    arrivals: list[tuple],
+    max_budget: int,
+) -> list[int]:
+    """Surviving-entry index for every budget ``0..max_budget`` in one pass.
+
+    Entries are ``(arrival_time, kill_cost, ...)`` tuples sorted by arrival
+    time; trailing elements (e.g. the sender id) are ignored.  Equivalent to
+    ``[group_survivor_index(arrivals, c) for c in range(...)]`` but computed
+    with a single walk over the (budget-monotone) kill prefix — this sits on
+    the per-instance hot path of the list scheduler.
+    """
+    if not arrivals:
+        raise SchedulingError("replica group with no arrivals")
+    indices: list[int] = []
+    spent = 0
+    index = 0
+    last = len(arrivals) - 1
+    for budget in range(max_budget + 1):
+        while index < last and spent + arrivals[index][1] <= budget:
+            spent += arrivals[index][1]
+            index += 1
+        indices.append(index)
+    return indices
+
+
+def group_guaranteed_arrival(
+    arrivals: list[tuple[float, int]],
+    budget: int,
+) -> float:
+    """Guaranteed arrival of a replica group's data under ``budget`` kills.
+
+    See :func:`group_survivor_index` for the adversary argument.
+    """
+    return arrivals[group_survivor_index(arrivals, budget)][0]
+
+
+@dataclass(frozen=True, slots=True)
 class PlacementResult:
     """Per-budget worst-case rows of a freshly placed instance."""
 
@@ -128,37 +170,59 @@ class WorstCaseAnalyzer:
         # Checkpointing extension: a re-execution re-runs one segment only.
         recovery = instance.recovery_unit
         prev = self._tails.get(instance.node)
+        step = recovery + mu
 
+        # Base release per budget: the later of the guaranteed input arrival
+        # and the node chain's tail (hoisted out of the (q, t) double loop).
+        if prev is None:
+            base_row = rel_row
+            input_row = [True] * (k + 1)
+        else:
+            base_row = []
+            input_row = []
+            for b in range(k + 1):
+                rel = rel_row[b]
+                chained = prev[b]
+                if chained > rel:
+                    base_row.append(chained)
+                    input_row.append(False)
+                else:
+                    base_row.append(rel)
+                    input_row.append(True)
+
+        # F(q) maximizes over t in [0, min(q, reexec)] re-executions, i.e.
+        # over budgets b = q - t walking down from q; ``extra`` accumulates
+        # wcet + t * step without re-multiplying per iteration.
         finish_row: list[float] = []
-        dominant = "input"
-        dominant_budget = 0
-        for q in range(k + 1):
+        for q in range(k):
+            tmax = q if q < reexec else reexec
             best = _NEG_INF
-            for t in range(min(q, reexec) + 1):
-                b = q - t
-                base = rel_row[b]
-                from_input = True
-                if prev is not None and prev[b] > base:
-                    base = prev[b]
-                    from_input = False
-                value = base + wcet + t * (recovery + mu)
+            extra = wcet
+            for b in range(q, q - tmax - 1, -1):
+                value = base_row[b] + extra
                 if value > best:
                     best = value
-                    if q == k:
-                        dominant = "input" if from_input else "node"
-                        dominant_budget = b
+                extra += step
             finish_row.append(best)
+        tmax = k if k < reexec else reexec
+        best = _NEG_INF
+        extra = wcet
+        dominant_budget = 0
+        for b in range(k, k - tmax - 1, -1):
+            value = base_row[b] + extra
+            if value > best:
+                best = value
+                dominant_budget = b
+            extra += step
+        finish_row.append(best)
+        dominant = "input" if input_row[dominant_budget] else "node"
 
         tail_row: list[float] = []
         kill_attempts = reexec + 1
         for q in range(k + 1):
             tail = finish_row[q]
             if q >= kill_attempts:
-                b = q - kill_attempts
-                base = rel_row[b]
-                if prev is not None and prev[b] > base:
-                    base = prev[b]
-                killed = base + (wcet + mu) + reexec * (recovery + mu)
+                killed = base_row[q - kill_attempts] + (wcet + mu) + reexec * step
                 if killed > tail:
                     tail = killed
             tail_row.append(tail)

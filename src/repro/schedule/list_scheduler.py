@@ -32,7 +32,7 @@ from repro.model.mapping import ReplicaMapping
 from repro.model.policy import PolicyAssignment
 from repro.schedule.analysis import (
     WorstCaseAnalyzer,
-    group_guaranteed_arrival,
+    group_survivor_indices,
     guaranteed_completion,
 )
 from repro.schedule.priorities import pcp_priorities
@@ -75,9 +75,9 @@ def schedule_ft_graph(
     # Readiness bookkeeping: an instance is ready when all predecessors in
     # the instance DAG are placed (their bus messages are scheduled at
     # placement time, so readiness implies known arrival times).
-    digraph = ft._digraph
+    succ_of = ft._succ
     remaining: dict[str, int] = {
-        iid: digraph.in_degree(iid) for iid in ft.instances
+        iid: len(ft._pred[iid]) for iid in ft.instances
     }
     ready: list[tuple[float, str]] = [
         (-priorities[iid], iid) for iid, count in remaining.items() if count == 0
@@ -93,7 +93,7 @@ def schedule_ft_graph(
     placed_count = 0
     while ready:
         _, iid = heapq.heappop(ready)
-        instance = ft.instance(iid)
+        instance = ft.instances[iid]
         rel_row, rel_sources = _release_row(
             ft, iid, k, root_finish, finish_rows, bus_scheduler
         )
@@ -156,7 +156,7 @@ def schedule_ft_graph(
                     ready_time=data_ready,
                 )
 
-        for succ in digraph.successors(iid):
+        for succ in succ_of[iid]:
             remaining[succ] -= 1
             if remaining[succ] == 0:
                 heapq.heappush(ready, (-priorities[succ], succ))
@@ -193,32 +193,44 @@ def _release_row(
     local finish, a masked arrival, or a fast arrival (plus, for re-executed
     replicas, the guaranteed second frame).  Each entry carries the marginal
     number of faults the adversary must spend to invalidate it; the greedy
-    earliest-first kill of :func:`group_guaranteed_arrival` then yields the
-    guaranteed arrival per budget.
+    earliest-first kill of :func:`group_survivor_indices` then yields the
+    surviving entry — and hence the guaranteed arrival — per budget.
     """
-    instance = ft.instance(iid)
+    instances = ft.instances
+    instance = instances[iid]
     node = instance.node
-    medl = bus_scheduler.medl
+    medl_by_id = bus_scheduler.medl.by_id()
+
+    def descriptor_for(bus_id: str):
+        try:
+            return medl_by_id[bus_id]
+        except KeyError:
+            raise SchedulingError(
+                f"no MEDL entry for bus message {bus_id!r} while releasing "
+                f"{iid!r} (bus scheduling out of sync with the FT graph)"
+            ) from None
+
     rel_row = [instance.release] * (k + 1)
     sources: list[str | None] = [None] * (k + 1)
 
     for group in ft.inputs_of(iid):
         arrivals: list[tuple[float, int, str]] = []
         replicated = len(group.sources) > 1
+        message_name = group.message.name
         for src_iid in group.sources:
-            src = ft.instance(src_iid)
+            src = instances[src_iid]
+            kill_cost = src.kill_cost
             if src.node == node:
                 # Local input: delays of the local chain are handled by the
                 # node DP, so only the terminal kill removes this entry.
-                arrivals.append((root_finish[src_iid], src.kill_cost, src_iid))
+                arrivals.append((root_finish[src_iid], kill_cost, src_iid))
                 continue
-            bus_id = f"{group.message.name}[{src_iid}]"
-            descriptor = medl[bus_id]
+            descriptor = descriptor_for(f"{message_name}[{src_iid}]")
             if not replicated:
                 # Masked frame: slot lies after the sender's WCF, so within
                 # budget k only a terminal kill (impossible for a sole
                 # replica of a valid policy) removes it.
-                arrivals.append((descriptor.arrival, src.kill_cost, src_iid))
+                arrivals.append((descriptor.slot_end, kill_cost, src_iid))
                 continue
             # Fast frame: invalid if the sender misses the slot start. The
             # cheapest way is q* faults delaying the sender (its finish row
@@ -226,32 +238,28 @@ def _release_row(
             # cheaper.  A fault on the sender both delays and counts toward
             # the kill, so the guaranteed frame costs the *remaining* kills.
             row = finish_rows[src_iid]
+            threshold = descriptor.slot_start + 1e-9
             q_star = k + 1
             for q in range(k + 1):
-                if row[q] > descriptor.slot_start + 1e-9:
+                if row[q] > threshold:
                     q_star = q
                     break
-            fast_cost = min(src.kill_cost, q_star)
-            arrivals.append((descriptor.arrival, fast_cost, src_iid))
-            if src.reexecutions > 0 and fast_cost < src.kill_cost:
-                guaranteed_id = bus_id + "#g"
+            fast_cost = kill_cost if kill_cost < q_star else q_star
+            arrivals.append((descriptor.slot_end, fast_cost, src_iid))
+            if src.reexecutions > 0 and fast_cost < kill_cost:
+                guaranteed = descriptor_for(f"{message_name}[{src_iid}]#g")
                 arrivals.append(
-                    (
-                        medl.arrival(guaranteed_id),
-                        src.kill_cost - fast_cost,
-                        src_iid,
-                    )
+                    (guaranteed.slot_end, kill_cost - fast_cost, src_iid)
                 )
         arrivals.sort()
-        pairs = [(a, cost) for a, cost, _ in arrivals]
-        for c in range(k + 1):
-            guaranteed = group_guaranteed_arrival(pairs, c)
-            if guaranteed > rel_row[c]:
-                rel_row[c] = guaranteed
-                survivor = next(
-                    entry for entry in arrivals if entry[0] == guaranteed
-                )
-                sources[c] = survivor[2]
+        # Survivors are tracked by *index*: on arrival-time ties a value
+        # lookup would name the first tied sender, which may be a replica
+        # the adversary already killed, corrupting critical-path extraction.
+        for c, index in enumerate(group_survivor_indices(arrivals, k)):
+            guaranteed_arrival = arrivals[index][0]
+            if guaranteed_arrival > rel_row[c]:
+                rel_row[c] = guaranteed_arrival
+                sources[c] = arrivals[index][2]
     return rel_row, sources
 
 
@@ -259,7 +267,7 @@ def _derive_completions(schedule: SystemSchedule, ft: FTGraph, k: int) -> None:
     """Guaranteed completion of every process from its replicas' WCFs."""
     for process, replica_ids in ft.group_of.items():
         pairs = [
-            (schedule.placements[iid].wcf, ft.instance(iid).kill_cost)
+            (schedule.placements[iid].wcf, ft.instances[iid].kill_cost)
             for iid in replica_ids
         ]
         schedule.completions[process] = guaranteed_completion(pairs, k)

@@ -40,7 +40,11 @@ class NodeMetrics:
 
 @dataclass(frozen=True)
 class BusMetrics:
-    """TDMA bus usage."""
+    """TDMA bus usage.
+
+    ``frames`` counts scheduled message descriptors (MEDL entries), so the
+    "N frames, M bytes" diagnostic always agrees with the MEDL rendering.
+    """
 
     frames: int
     payload_bytes: int
@@ -143,9 +147,8 @@ def compute_metrics(schedule: SystemSchedule) -> ScheduleMetrics:
         )
 
     descriptors = list(schedule.medl)
-    rounds = {(d.sender_node, d.round_index) for d in descriptors}
     metrics.bus = BusMetrics(
-        frames=len(rounds),
+        frames=len(descriptors),
         payload_bytes=sum(d.size_bytes for d in descriptors),
         rounds_used=len({d.round_index for d in descriptors}),
         round_length=schedule.bus.round_length,

@@ -35,13 +35,13 @@ def pcp_priorities(
     round_length = bus.round_length
     mu = faults.mu
     instances = ft.instances
-    digraph = ft._digraph
+    succ_of = ft._succ
     priorities: dict[str, float] = {}
     for iid in reversed(ft.topological_order()):
         instance = instances[iid]
         weight = instance.wcet * (1 + instance.reexecutions) + instance.reexecutions * mu
         best_tail = 0.0
-        for succ in digraph.successors(iid):
+        for succ in succ_of[iid]:
             edge = round_length if instances[succ].node != instance.node else 0.0
             tail = edge + priorities[succ]
             if tail > best_tail:

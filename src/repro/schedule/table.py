@@ -20,7 +20,7 @@ from repro.ttp.bus import BusConfig
 from repro.ttp.medl import MEDL
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Binding:
     """Which constraint fixed an instance's root start time.
 
@@ -33,7 +33,7 @@ class Binding:
     source: str | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ScheduledInstance:
     """One row of a node's static schedule table."""
 

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigurationError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FrameAllocation:
     """One message placed inside a frame."""
 
@@ -33,10 +33,17 @@ class Frame:
     round_index: int
     capacity_bytes: int
     allocations: list[FrameAllocation] = field(default_factory=list)
+    # Running payload counter: frames are probed (fits/pack) once per bus
+    # message on the scheduler hot path, so the fill level must not be
+    # recomputed from the allocation list on every lookup.
+    _used_bytes: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._used_bytes = sum(a.size_bytes for a in self.allocations)
 
     @property
     def used_bytes(self) -> int:
-        return sum(a.size_bytes for a in self.allocations)
+        return self._used_bytes
 
     @property
     def free_bytes(self) -> int:
@@ -60,4 +67,5 @@ class Frame:
             size_bytes=size_bytes,
         )
         self.allocations.append(allocation)
+        self._used_bytes += size_bytes
         return allocation

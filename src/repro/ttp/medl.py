@@ -14,7 +14,7 @@ from typing import Iterator
 from repro.errors import ConfigurationError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MessageDescriptor:
     """Where and when one bus message is broadcast."""
 
@@ -62,6 +62,10 @@ class MEDL:
 
     def __iter__(self) -> Iterator[MessageDescriptor]:
         return iter(self._by_id.values())
+
+    def by_id(self) -> dict[str, MessageDescriptor]:
+        """The id -> descriptor mapping (read-only hot-path view)."""
+        return self._by_id
 
     def arrival(self, bus_message_id: str) -> float:
         return self[bus_message_id].arrival

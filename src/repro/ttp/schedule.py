@@ -22,18 +22,13 @@ class BusScheduler:
         self.bus = bus
         self.medl = MEDL()
         self._frames: dict[tuple[str, int], Frame] = {}
-
-    def _frame(self, node: str, round_index: int) -> Frame:
-        key = (node, round_index)
-        frame = self._frames.get(key)
-        if frame is None:
-            frame = Frame(
-                node=node,
-                round_index=round_index,
-                capacity_bytes=self.bus.capacity_bytes(node),
-            )
-            self._frames[key] = frame
-        return frame
+        # Per-node timing constants hoisted out of the per-message loop: one
+        # bus scheduler prices every message of one candidate schedule, so
+        # the slot arithmetic must not re-derive them on every call.
+        self._round_length = bus.round_length
+        self._offsets = {n: bus.slot_start(n, 0) for n in bus.slot_order}
+        self._lengths = {n: bus.slot_lengths[n] for n in bus.slot_order}
+        self._capacities = {n: bus.capacity_bytes(n) for n in bus.slot_order}
 
     def schedule_message(
         self,
@@ -49,23 +44,35 @@ class BusScheduler:
         slot time is valid in *every* scenario — this is what makes recovery
         transparent to other nodes.
         """
-        if size_bytes > self.bus.capacity_bytes(sender_node):
+        capacity = self._capacities[sender_node]
+        if size_bytes > capacity:
             raise ConfigurationError(
                 f"message {bus_message_id!r} ({size_bytes} B) exceeds the "
-                f"frame capacity of node {sender_node!r} "
-                f"({self.bus.capacity_bytes(sender_node)} B)"
+                f"frame capacity of node {sender_node!r} ({capacity} B)"
             )
+        offset = self._offsets[sender_node]
+        round_length = self._round_length
         round_index = self.bus.first_round_at_or_after(sender_node, ready_time)
+        frames = self._frames
         while True:
-            frame = self._frame(sender_node, round_index)
-            if frame.fits(size_bytes):
+            key = (sender_node, round_index)
+            frame = frames.get(key)
+            if frame is None:
+                frame = Frame(
+                    node=sender_node,
+                    round_index=round_index,
+                    capacity_bytes=capacity,
+                )
+                frames[key] = frame
+            if frame.used_bytes + size_bytes <= capacity:
                 allocation = frame.pack(bus_message_id, size_bytes)
+                slot_start = round_index * round_length + offset
                 descriptor = MessageDescriptor(
                     bus_message_id=bus_message_id,
                     sender_node=sender_node,
                     round_index=round_index,
-                    slot_start=self.bus.slot_start(sender_node, round_index),
-                    slot_end=self.bus.slot_end(sender_node, round_index),
+                    slot_start=slot_start,
+                    slot_end=slot_start + self._lengths[sender_node],
                     offset_bytes=allocation.offset_bytes,
                     size_bytes=size_bytes,
                 )

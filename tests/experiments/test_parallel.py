@@ -1,0 +1,77 @@
+"""Tests for the parallel experiment runner (fan-out + serial parity)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.figure10 import figure10
+from repro.experiments.parallel import CaseJob, run_case_job, run_case_jobs
+from repro.experiments.table1 import table1a, table1b
+from repro.opt.strategy import OptimizationConfig
+
+#: Deterministic budget: no wall-clock limit, so serial and parallel runs
+#: perform bit-identical searches regardless of scheduling jitter.
+TINY = OptimizationConfig(
+    minimize=True, rounds=1, greedy_max_iterations=3, tabu_max_iterations=2
+)
+TINY_DIMS = ((8, 2, 2), (10, 2, 2))
+
+
+class TestRunCaseJobs:
+    def test_results_align_with_submission_order(self):
+        jobs = [
+            CaseJob(8, 2, 2, 5.0, seed, ("NFT",), config=TINY)
+            for seed in (0, 1, 2)
+        ]
+        serial = run_case_jobs(jobs, n_jobs=1)
+        parallel = run_case_jobs(jobs, n_jobs=3)
+        assert [r["NFT"].makespan for r in serial] == [
+            r["NFT"].makespan for r in parallel
+        ]
+
+    def test_single_job_runs_inline(self):
+        job = CaseJob(8, 2, 2, 5.0, 0, ("NFT",), config=TINY)
+        (result,) = run_case_jobs([job], n_jobs=8)
+        assert result["NFT"].makespan == run_case_job(job)["NFT"].makespan
+
+    def test_invalid_job_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_case_jobs([], n_jobs=0)
+
+    def test_progress_reports_every_job(self):
+        jobs = [
+            CaseJob(8, 2, 2, 5.0, seed, ("NFT",), config=TINY)
+            for seed in (0, 1)
+        ]
+        lines: list[str] = []
+        run_case_jobs(jobs, n_jobs=2, progress=lines.append)
+        assert len(lines) == 2
+
+    def test_describe_defaults_and_label(self):
+        job = CaseJob(8, 2, 2, 5.0, 4, ("NFT", "MXR"))
+        assert "8p" in job.describe()
+        assert "seed 4" in job.describe()
+        labelled = CaseJob(8, 2, 2, 5.0, 4, ("NFT",), label="row 1")
+        assert labelled.describe() == "row 1"
+
+
+class TestSweepParity:
+    """``--jobs N`` must reproduce the serial tables row for row."""
+
+    def test_table1a_parallel_matches_serial(self):
+        serial = table1a(seeds=(0,), dimensions=TINY_DIMS, config=TINY, jobs=1)
+        parallel = table1a(seeds=(0,), dimensions=TINY_DIMS, config=TINY, jobs=4)
+        assert serial == parallel
+
+    def test_table1b_parallel_matches_serial(self):
+        kwargs = dict(
+            seeds=(0,), fault_counts=(1, 2), n_processes=8, n_nodes=2,
+            config=TINY,
+        )
+        assert table1b(jobs=1, **kwargs) == table1b(jobs=4, **kwargs)
+
+    def test_figure10_parallel_matches_serial(self):
+        serial = figure10(seeds=(0,), dimensions=((8, 2, 2),), config=TINY, jobs=1)
+        parallel = figure10(
+            seeds=(0,), dimensions=((8, 2, 2),), config=TINY, jobs=2
+        )
+        assert serial == parallel

@@ -71,6 +71,42 @@ class TestBusMetrics:
         assert metrics.bus.frames == 0
         assert metrics.bus.bytes_per_round == 0.0
 
+    def test_frames_count_descriptors_not_sender_rounds(self):
+        """Two messages packed into one sender slot are two frames.
+
+        ``BusMetrics.frames`` used to count unique (sender_node, round)
+        pairs, so the "N frames, M bytes" diagnostic disagreed with the
+        MEDL whenever a sender packed several messages into one frame slot.
+        """
+        graph = make_graph(
+            {
+                "A": {"N1": 20.0, "N2": 20.0},
+                "B": {"N1": 30.0, "N2": 30.0},
+                "C": {"N1": 30.0, "N2": 30.0},
+            },
+            [("A", "B", 1), ("A", "C", 1)],
+        )
+        schedule = schedule_single_graph(
+            graph,
+            K1,
+            {
+                "A": Policy.reexecution(1),
+                "B": Policy.reexecution(1),
+                "C": Policy.reexecution(1),
+            },
+            {"A": "N1", "B": "N2", "C": "N2"},
+            BUS2,
+        )
+        metrics = compute_metrics(schedule)
+        # Both messages ride in the same slot of N1 (same round): one
+        # (sender, round) pair, but two scheduled descriptors.
+        assert len(list(schedule.medl)) == 2
+        rounds = {(d.sender_node, d.round_index) for d in schedule.medl}
+        assert len(rounds) == 1
+        assert metrics.bus.frames == 2
+        assert metrics.bus.rounds_used == 1
+        assert metrics.bus.payload_bytes == 2
+
 
 class TestRedundancyMetrics:
     def test_pure_reexecution(self):

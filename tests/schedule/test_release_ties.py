@@ -1,0 +1,95 @@
+"""Regression: input-arrival ties must name the *surviving* replica.
+
+``_release_row`` used to look the dominant input up by float equality on the
+arrival time; when two replicas arrive at the identical time that lookup
+names the first tied sender — which can be exactly the replica the adversary
+already killed — corrupting the binding links the critical-path extraction
+follows.  Survivors are now tracked by index (see
+:func:`repro.schedule.analysis.group_survivor_indices`).
+"""
+
+import pytest
+
+from repro.model.fault import FaultModel
+from repro.model.policy import Policy
+from repro.schedule.analysis import (
+    group_guaranteed_arrival,
+    group_survivor_index,
+    group_survivor_indices,
+)
+from repro.ttp.bus import BusConfig
+
+from tests.conftest import make_graph, schedule_single_graph
+
+BUS2 = BusConfig(("N1", "N2"), {"N1": 10.0, "N2": 10.0}, ms_per_byte=5.0)
+
+
+def _tie_schedule():
+    """Two replicas of A deliver to B:r0 at the identical time (t=30).
+
+    * ``A:r0`` on N1 (wcet 20) sends a fast frame in N1's round-1 slot
+      [20, 30) -> arrival 30 at N2;
+    * ``A:r1`` on N2 (wcet 30) finishes locally at 30.
+
+    With budget 1 the adversary kills the earlier-sorted entry (``A:r0``);
+    the surviving input of ``B:r0`` is therefore ``A:r1``.  µ = 0 makes the
+    co-located chain tail equal the arrival, so the input (not the node
+    chain) binds B:r0's placement at the dominant budget.
+    """
+    graph = make_graph(
+        {"A": {"N1": 20.0, "N2": 30.0}, "B": {"N1": 10.0, "N2": 10.0}},
+        [("A", "B", 1)],
+    )
+    return schedule_single_graph(
+        graph,
+        FaultModel(k=1, mu=0.0),
+        {"A": Policy.replication(1), "B": Policy.replication(1)},
+        {"A": ("N1", "N2"), "B": ("N2", "N1")},
+        BUS2,
+    )
+
+
+class TestReleaseTieRegression:
+    def test_arrivals_actually_tie(self):
+        schedule = _tie_schedule()
+        # Local finish of A:r1 and bus arrival of A:r0's frame coincide.
+        assert schedule.placements["A:r1"].root_finish == pytest.approx(30.0)
+        frame = schedule.medl["m_A_B[A:r0]"]
+        assert frame.slot_end == pytest.approx(30.0)
+
+    def test_binding_names_surviving_replica(self):
+        schedule = _tie_schedule()
+        binding = schedule.placements["B:r0"].binding
+        assert binding.kind == "input"
+        # The buggy float-equality lookup named the killed replica A:r0.
+        assert binding.source == "A:r1"
+
+    def test_critical_path_still_traverses_a(self):
+        schedule = _tie_schedule()
+        path = schedule.critical_path()
+        assert path[-1] in {"A", "B"}
+        assert "A" in path
+
+
+class TestSurvivorIndices:
+    def test_tie_survivor_is_second_entry(self):
+        arrivals = [(30.0, 1), (30.0, 1), (40.0, 1)]
+        assert group_survivor_index(arrivals, 0) == 0
+        assert group_survivor_index(arrivals, 1) == 1
+        assert group_survivor_index(arrivals, 2) == 2
+
+    def test_indices_match_single_budget_helper(self):
+        arrivals = [(1.0, 2), (2.0, 1), (2.0, 3), (5.0, 1)]
+        for k in range(6):
+            assert group_survivor_indices(arrivals, k) == [
+                group_survivor_index(arrivals, c) for c in range(k + 1)
+            ]
+
+    def test_guaranteed_arrival_unchanged_by_refactor(self):
+        arrivals = [(10.0, 1), (20.0, 2), (30.0, 1)]
+        assert group_guaranteed_arrival(arrivals, 0) == 10.0
+        assert group_guaranteed_arrival(arrivals, 1) == 20.0
+        assert group_guaranteed_arrival(arrivals, 2) == 20.0
+        assert group_guaranteed_arrival(arrivals, 3) == 30.0
+        # The last replica always survives, however large the budget.
+        assert group_guaranteed_arrival(arrivals, 99) == 30.0
