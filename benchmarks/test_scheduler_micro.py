@@ -96,6 +96,14 @@ def test_pipeline_throughput_records_bench_json():
             gc.enable()
     evaluations_per_sec = n_raw / raw_elapsed
 
+    # Cached-evaluator statistics come from the public cache_info() (hits/
+    # misses/size/bound a la functools.lru_cache), not private fields.
+    cached = Evaluator(merged, case.faults)
+    cached.evaluate(impl)
+    cached.evaluate(impl)
+    info = cached.cache_info()
+    assert info.hits == 1 and info.misses == 1 and info.size == 1
+
     # Full single-pass pipeline: one scaled-down strategy run.
     config = OptimizationConfig(
         minimize=True, rounds=1, greedy_max_iterations=3,
@@ -118,6 +126,7 @@ def test_pipeline_throughput_records_bench_json():
             ),
             "evaluations": result.evaluations,  # list_schedule passes (cache misses)
             "elapsed_s": round(pipeline_elapsed, 3),
+            "cache_bound": info.bound,  # Evaluator DEFAULT_CACHE_SIZE
         },
     }
     BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")

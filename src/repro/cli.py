@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import ConfigurationError
 from repro.experiments.cruise import run_cruise_experiment
 from repro.experiments.figure10 import figure10
 from repro.experiments.reporting import (
@@ -42,6 +43,26 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _jobs_arg(value: str) -> int:
+    """Parse ``--jobs``: a worker count >= 1, or -1 for all CPUs.
+
+    Validation lives in :func:`repro.experiments.parallel.resolve_jobs`;
+    its :class:`ConfigurationError` backs the argparse usage error, so the
+    CLI and programmatic callers reject the same inputs with the same
+    message.
+    """
+    from repro.experiments.parallel import resolve_jobs
+
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}") from None
+    try:
+        return resolve_jobs(number)
+    except ConfigurationError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seeds", type=int, default=3, help="random apps per row")
     parser.add_argument(
@@ -52,11 +73,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--jobs",
-        type=_positive_int,
+        type=_jobs_arg,
         default=1,
         help=(
-            "worker processes for the experiment sweep (1 = serial; results "
-            "are aggregated in deterministic job order either way)"
+            "worker processes for the experiment sweep (1 = serial, -1 = "
+            "all CPUs; results are aggregated in deterministic job order "
+            "either way)"
         ),
     )
     parser.add_argument(

@@ -17,6 +17,7 @@ pass a config without ``time_limit_s`` for bit-identical runs).
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
@@ -51,6 +52,22 @@ class CaseJob:
         )
 
 
+def resolve_jobs(n_jobs: int) -> int:
+    """Validate a ``--jobs`` worker count; ``-1`` means all CPUs.
+
+    Raises :class:`ConfigurationError` for 0 and for negatives other than
+    the all-CPUs sentinel, so both the CLI and programmatic callers reject
+    nonsensical fan-outs before any work is submitted.
+    """
+    if n_jobs == -1:
+        return os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ConfigurationError(
+            f"n_jobs must be >= 1 (or -1 for all CPUs), got {n_jobs}"
+        )
+    return n_jobs
+
+
 def run_case_job(job: CaseJob) -> dict[str, VariantRun]:
     """Regenerate and optimize one job's case (executed in the worker)."""
     case = generate_case(
@@ -69,12 +86,14 @@ def run_case_jobs(
     """Run every job and return results in submission order.
 
     ``n_jobs == 1`` executes in-process (the serial path of the CLI);
-    ``n_jobs > 1`` fans out over a process pool.  Either way the result list
-    aligns index-for-index with the input job list.
+    ``n_jobs > 1`` fans out over a process pool; ``n_jobs == -1`` uses one
+    worker per CPU.  Either way the result list aligns index-for-index with
+    the input job list, and every :class:`VariantRun` carries the winning
+    schedule's compact :class:`~repro.schedule.record.ScheduleRecord` —
+    the IR is what makes the worker results cheap to pickle back.
     """
     job_list = list(jobs)
-    if n_jobs < 1:
-        raise ConfigurationError(f"n_jobs must be >= 1, got {n_jobs}")
+    n_jobs = resolve_jobs(n_jobs)
     if n_jobs == 1 or len(job_list) <= 1:
         results: list[dict[str, VariantRun]] = []
         for index, job in enumerate(job_list):

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.gen.suite import GeneratedCase
 from repro.opt.strategy import OptimizationConfig, OptimizationResult, optimize
+from repro.schedule.record import ScheduleRecord
 
 #: Seconds of search per variant, keyed by application size (paper: minutes
 #: to hours; scaled down ~100x for laptop runs).
@@ -41,13 +42,21 @@ def budget_for(n_processes: int, time_scale: float = 1.0) -> OptimizationConfig:
 
 @dataclass(frozen=True)
 class VariantRun:
-    """Outcome of one (case, variant) optimization."""
+    """Outcome of one (case, variant) optimization.
+
+    ``record`` is the winning schedule's compact IR: flat, cycle-free
+    tuples that pickle cheaply, so parallel experiment workers ship the
+    *full* synthesized schedule back to the parent — not just the summary
+    scalars — and the parent (or a future distributed-queue backend) can
+    re-render tables, validate, or archive it without re-optimizing.
+    """
 
     variant: str
     makespan: float
     schedulable: bool
     seconds: float
     evaluations: int
+    record: ScheduleRecord | None = None
 
     def overhead_vs(self, reference: "VariantRun") -> float:
         """Percent overhead of this run versus ``reference`` (usually NFT)."""
@@ -74,5 +83,6 @@ def run_variants(
             schedulable=result.is_schedulable,
             seconds=time.monotonic() - started,
             evaluations=result.evaluations,
+            record=result.record,
         )
     return runs

@@ -2,33 +2,53 @@
 
 Tabu search revisits design points frequently, so evaluation results are
 cached by the implementation's canonical signature.  The cache is a bounded
-LRU holding the *full* evaluation — cost **and** schedule — so one
-:func:`repro.schedule.list_scheduler.list_schedule` pass serves both the
-pricing of a candidate and the critical-path extraction the search performs
-on the chosen solution.  :meth:`Evaluator.evaluate_full` is the single entry
-point of that pipeline; :meth:`evaluate` and :meth:`schedule` are thin views
-of it kept for callers that need only one half.
+LRU holding the *compact schedule record* — cost **and** full schedule IR —
+so one list-scheduling pass serves both the pricing of a candidate and the
+critical-path extraction the search performs on the chosen solution.
+
+:meth:`Evaluator.evaluate_record` is the hot path: it returns ``(Cost,
+ScheduleRecord)`` and never materializes object views.  Callers that need
+the classic :class:`~repro.schedule.table.SystemSchedule` (validation,
+rendering, the final result of a strategy run) go through
+:meth:`evaluate_full`/:meth:`schedule`, which rebind the cached record to a
+freshly expanded FT graph.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import NamedTuple
 
 from repro.model.application import ProcessGraph
 from repro.model.fault import FaultModel
+from repro.model.ftgraph import build_ft_graph
 from repro.opt.cost import Cost
 from repro.opt.implementation import Implementation
-from repro.schedule.list_scheduler import list_schedule
+from repro.schedule.list_scheduler import build_schedule_record
+from repro.schedule.record import ScheduleRecord
 from repro.schedule.table import SystemSchedule
 
-#: Default bound of the LRU schedule cache.  A tabu neighbourhood holds a
-#: few dozen candidates and the search keeps a handful of neighbourhoods
-#: alive (current, best-so-far, recent history), so a few hundred entries
-#: give good hit rates.  The bound matters beyond memory: every retained
-#: schedule is a large tracked object graph the cyclic GC re-scans, so an
-#: oversized cache costs more in collector time than the extra hits save
-#: (measured on the 20-process MXR strategy run; see DESIGN.md).
-DEFAULT_CACHE_SIZE = 256
+#: Default bound of the LRU schedule cache.  A cached entry is a compact
+#: :class:`ScheduleRecord` — flat tuples, no reference cycles — so unlike
+#: the object-graph caching of PR 1 (where 256 entries was the measured
+#: optimum before cyclic-GC re-scan cost ate the extra hits), retention is
+#: almost free and the bound is set by hit-rate saturation instead.  The
+#: cache-scaling benchmark (``benchmarks/test_cache_scaling.py``, written
+#: to ``BENCH_cache.json``) re-measured the 20-process MXR strategy run at
+#: 64/256/1024/4096 entries: wall-clock is flat across the whole range
+#: while the hit rate keeps growing (long-distance revisits across search
+#: rounds), so the bound moved from 256 to 4096 — a 16x larger cache at
+#: equal wall-clock.  See DESIGN.md.
+DEFAULT_CACHE_SIZE = 4096
+
+
+class CacheInfo(NamedTuple):
+    """Cache statistics à la ``functools.lru_cache``."""
+
+    hits: int
+    misses: int
+    size: int  # entries currently retained
+    bound: int  # maximum entries (LRU capacity)
 
 
 class Evaluator:
@@ -47,13 +67,23 @@ class Evaluator:
         self.cache_hits = 0
         self._cache_size = cache_size
         self._cache: (
-            OrderedDict[tuple, tuple[Cost, SystemSchedule]] | None
+            OrderedDict[tuple, tuple[Cost, ScheduleRecord]] | None
         ) = OrderedDict() if cache else None
 
-    def evaluate_full(
+    def evaluate_record(
         self, implementation: Implementation
-    ) -> tuple[Cost, SystemSchedule]:
-        """Cost and schedule of ``implementation`` in one scheduling pass."""
+    ) -> tuple[Cost, ScheduleRecord]:
+        """Cost and compact schedule IR of ``implementation`` (one pass)."""
+        cost, record, _ = self._evaluate(implementation)
+        return cost, record
+
+    def _evaluate(self, implementation: Implementation):
+        """Core pipeline; also returns the FT graph when freshly expanded.
+
+        The third element is ``None`` on a cache hit — view-materializing
+        callers rebuild it then, but a miss hands its FT graph on so the
+        expansion is never done twice for one request.
+        """
         cache = self._cache
         signature = None
         if cache is not None:
@@ -62,37 +92,81 @@ class Evaluator:
             if cached is not None:
                 cache.move_to_end(signature)
                 self.cache_hits += 1
-                return cached
+                return (*cached, None)
         self.evaluations += 1
-        schedule = list_schedule(
+        ft = build_ft_graph(
             self.merged,
-            self.faults,
             implementation.policies,
             implementation.mapping,
-            implementation.bus,
+            self.faults,
         )
-        cost = self.cost_of(schedule)
+        record = build_schedule_record(
+            self.merged, ft, self.faults, implementation.bus
+        )
+        cost = self.cost_of_record(record)
         if cache is not None:
-            cache[signature] = (cost, schedule)
+            cache[signature] = (cost, record)
             if len(cache) > self._cache_size:
                 cache.popitem(last=False)
-        return cost, schedule
+        return cost, record, ft
+
+    def evaluate_full(
+        self, implementation: Implementation
+    ) -> tuple[Cost, SystemSchedule]:
+        """Cost and materialized schedule view of ``implementation``.
+
+        On a cache hit the record is rebound to a freshly expanded FT
+        graph — a few percent of a scheduling pass — so only callers that
+        actually render, simulate or hand the schedule on pay for views.
+        """
+        cost, record, ft = self._evaluate(implementation)
+        if ft is None:
+            return cost, self.materialize(implementation, record)
+        return cost, SystemSchedule.from_record(
+            record, self.merged, ft, self.faults, implementation.bus
+        )
+
+    def materialize(
+        self, implementation: Implementation, record: ScheduleRecord
+    ) -> SystemSchedule:
+        """Bind ``record`` to its model context as a lazy view."""
+        ft = build_ft_graph(
+            self.merged,
+            implementation.policies,
+            implementation.mapping,
+            self.faults,
+        )
+        return SystemSchedule.from_record(
+            record, self.merged, ft, self.faults, implementation.bus
+        )
 
     def schedule(self, implementation: Implementation) -> SystemSchedule:
-        """Full schedule for ``implementation`` (served from the LRU cache)."""
+        """Full schedule view for ``implementation`` (record LRU-cached)."""
         return self.evaluate_full(implementation)[1]
 
-    def cost_of(self, schedule: SystemSchedule) -> Cost:
-        degree = schedule.degree_of_schedulability()
+    def cost_of_record(self, record: ScheduleRecord) -> Cost:
+        degree = record.degree_of_schedulability()
         return Cost(
             schedulable=degree == 0.0,
             degree=degree,
-            makespan=schedule.makespan,
+            makespan=record.makespan,
         )
+
+    def cost_of(self, schedule: SystemSchedule) -> Cost:
+        return self.cost_of_record(schedule.record)
 
     def evaluate(self, implementation: Implementation) -> Cost:
         """Cost of ``implementation`` (cached by design signature)."""
-        return self.evaluate_full(implementation)[0]
+        return self.evaluate_record(implementation)[0]
+
+    def cache_info(self) -> CacheInfo:
+        """Hits, misses, current size and bound of the evaluation cache."""
+        return CacheInfo(
+            hits=self.cache_hits,
+            misses=self.evaluations,
+            size=0 if self._cache is None else len(self._cache),
+            bound=0 if self._cache is None else self._cache_size,
+        )
 
     @property
     def cache_hit_rate(self) -> float:

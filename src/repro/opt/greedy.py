@@ -43,7 +43,7 @@ def greedy_mpa(
 ) -> SearchOutcome:
     """Greedily improve ``start``; returns the last (best) solution found."""
     current = start
-    current_cost, current_schedule = evaluator.evaluate_full(current)
+    current_cost, current_record = evaluator.evaluate_record(current)
     outcome = SearchOutcome(
         implementation=current, cost=current_cost, history=[current_cost]
     )
@@ -58,28 +58,30 @@ def greedy_mpa(
             merged,
             faults,
             current,
-            current_schedule.critical_path(),
+            current_record.critical_path(),
             replica_counts,
             checkpoint_segments,
         )
         # Single-pass evaluation: each candidate is priced and scheduled in
-        # one list_schedule call; the winner's implementation and schedule
-        # are reused directly instead of re-applying the move.
+        # one list-scheduling call returning the compact IR; the winner's
+        # implementation and record are reused directly instead of
+        # re-applying the move, and the critical path is walked on the
+        # record's binding index triples — no view is ever materialized.
         best_candidate = None
         best_cost = current_cost
-        best_schedule = None
+        best_record = None
         for move in moves:
             candidate = move.apply(current)
-            cost, schedule = evaluator.evaluate_full(candidate)
+            cost, record = evaluator.evaluate_record(candidate)
             if cost.is_better_than(best_cost):
                 best_candidate = candidate
                 best_cost = cost
-                best_schedule = schedule
+                best_record = record
         if best_candidate is None:
             break
         current = best_candidate
         current_cost = best_cost
-        current_schedule = best_schedule
+        current_record = best_record
         outcome.iterations += 1
         outcome.history.append(current_cost)
 

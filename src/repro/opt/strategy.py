@@ -128,6 +128,7 @@ class OptimizationConfig:
     minimize: bool | None = None  # None: auto-detect (no deadlines anywhere)
     optimize_bus: bool = False
     bus_scale_factors: tuple[float, ...] = ()
+    cache_size: int | None = None  # None: Evaluator's DEFAULT_CACHE_SIZE
 
 
 @dataclass
@@ -152,6 +153,19 @@ class OptimizationResult:
     @property
     def is_schedulable(self) -> bool:
         return self.cost.schedulable
+
+    @property
+    def record(self):
+        """The compact, picklable IR of the winning schedule."""
+        return self.schedule.record
+
+
+def _make_evaluator(
+    merged: ProcessGraph, faults: FaultModel, config: OptimizationConfig
+) -> Evaluator:
+    if config.cache_size is None:
+        return Evaluator(merged, faults)
+    return Evaluator(merged, faults, cache_size=config.cache_size)
 
 
 def optimize(
@@ -178,7 +192,7 @@ def optimize(
     bus = config.bus or initial_bus_access(
         application, architecture, config.ms_per_byte
     )
-    evaluator = Evaluator(merged, effective_faults)
+    evaluator = _make_evaluator(merged, effective_faults, config)
 
     minimize = config.minimize
     if minimize is None:
@@ -298,7 +312,7 @@ def _run_sfx(
     nft = optimize(application, architecture, faults, variant="NFT", config=config)
 
     merged = nft.merged
-    evaluator = Evaluator(merged, faults)
+    evaluator = _make_evaluator(merged, faults, config)
     implementation = nft.implementation.copy()
     for name, process in merged.processes.items():
         policy = initial_policy_for(process, faults, default_replicas=1)

@@ -26,7 +26,7 @@ from repro.opt.evaluator import Evaluator
 from repro.opt.greedy import SearchOutcome
 from repro.opt.implementation import Implementation
 from repro.opt.moves import Move, generate_moves
-from repro.schedule.table import SystemSchedule
+from repro.schedule.record import ScheduleRecord
 
 
 def tabu_search_mpa(
@@ -51,7 +51,7 @@ def tabu_search_mpa(
 
     x_now = start
     best = start
-    best_cost, now_schedule = evaluator.evaluate_full(start)
+    best_cost, now_record = evaluator.evaluate_record(start)
     outcome = SearchOutcome(implementation=best, cost=best_cost, history=[best_cost])
     deadline = None if time_limit_s is None else time.monotonic() + time_limit_s
 
@@ -61,7 +61,7 @@ def tabu_search_mpa(
         if deadline is not None and time.monotonic() > deadline:
             break
 
-        critical_path = now_schedule.critical_path()
+        critical_path = now_record.critical_path()
         moves = generate_moves(
             merged, faults, x_now, critical_path, replica_counts,
             checkpoint_segments,
@@ -70,13 +70,14 @@ def tabu_search_mpa(
             break
 
         # Single-pass evaluation: every candidate is built and scheduled
-        # exactly once; the chosen move's implementation and schedule are
-        # reused below instead of re-applying the move and re-scheduling.
-        candidates: list[tuple[Move, Implementation, Cost, SystemSchedule]] = []
+        # exactly once into a compact record; the chosen move's
+        # implementation and record are reused below instead of re-applying
+        # the move and re-scheduling.
+        candidates: list[tuple[Move, Implementation, Cost, ScheduleRecord]] = []
         for move in moves:
             candidate = move.apply(x_now)
-            cost, schedule = evaluator.evaluate_full(candidate)
-            candidates.append((move, candidate, cost, schedule))
+            cost, record = evaluator.evaluate_record(candidate)
+            candidates.append((move, candidate, cost, record))
         chosen = _select_move(
             [(move, cost) for move, _, cost, _ in candidates],
             tabu, wait, best_cost, graph_size,
@@ -84,9 +85,9 @@ def tabu_search_mpa(
         if chosen is None:
             break
         move, now_cost = chosen
-        x_now, now_schedule = next(
-            (impl, schedule)
-            for m, impl, _, schedule in candidates
+        x_now, now_record = next(
+            (impl, record)
+            for m, impl, _, record in candidates
             if m is move
         )
         outcome.iterations += 1

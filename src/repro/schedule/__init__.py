@@ -9,17 +9,20 @@ from repro.schedule.contingency import (
     transparency_report,
 )
 from repro.schedule.gantt import GanttOptions, render_gantt
-from repro.schedule.list_scheduler import list_schedule
+from repro.schedule.list_scheduler import build_schedule_record, list_schedule
 from repro.schedule.metrics import ScheduleMetrics, compute_metrics
 from repro.schedule.priorities import pcp_priorities
+from repro.schedule.record import ScheduleRecord
 from repro.schedule.table import Binding, ScheduledInstance, SystemSchedule
 
 __all__ = [
     "Binding",
     "GanttOptions",
     "ScheduleMetrics",
+    "ScheduleRecord",
     "ScheduledInstance",
     "SystemSchedule",
+    "build_schedule_record",
     "compute_metrics",
     "WorstCaseAnalyzer",
     "group_guaranteed_arrival",

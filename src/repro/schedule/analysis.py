@@ -119,7 +119,13 @@ def group_guaranteed_arrival(
 
 @dataclass(frozen=True, slots=True)
 class PlacementResult:
-    """Per-budget worst-case rows of a freshly placed instance."""
+    """Per-budget worst-case rows of a freshly placed instance.
+
+    ``finish_row`` is retained verbatim as one row of the compact
+    :class:`repro.schedule.record.ScheduleRecord`; ``dominant`` and
+    ``dominant_budget`` feed the record's binding index triple, which is
+    what the critical-path walk follows.
+    """
 
     finish_row: tuple[float, ...]  # F(i, q): worst finish when it completes
     tail_row: tuple[float, ...]  # chain tail incl. the terminally-killed case

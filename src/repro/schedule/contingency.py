@@ -70,29 +70,32 @@ def synthesize_contingency_schedules(
     """Materialize contingency tables for the given (default: single-fault)
     scenarios."""
     simulator = SystemSimulator(schedule)
+    record = schedule.record
     if scenarios is None:
         scenarios = single_fault_scenarios(schedule)
     out: list[ContingencySchedule] = []
     for scenario in scenarios:
         result = simulator.run(scenario)
         contingency = ContingencySchedule(scenario=scenario)
-        for node, chain in schedule.node_chains.items():
+        for node_index, chain in enumerate(record.node_chains):
             entries = []
-            for iid in chain:
-                record = result.executions.get(iid)
-                if record is None:
+            for index in chain:
+                iid = record.instance_ids[index]
+                execution = result.executions.get(iid)
+                if execution is None:
                     continue
-                root = schedule.placements[iid]
                 entries.append(
                     ContingencyEntry(
                         instance_id=iid,
-                        start=record.start,
-                        finish=record.finish,
-                        shifted_by=max(0.0, record.start - root.root_start),
-                        produced=record.produced,
+                        start=execution.start,
+                        finish=execution.finish,
+                        shifted_by=max(
+                            0.0, execution.start - record.root_start[index]
+                        ),
+                        produced=execution.produced,
                     )
                 )
-            contingency.tables[node] = entries
+            contingency.tables[record.nodes[node_index]] = entries
         out.append(contingency)
     return out
 
@@ -103,7 +106,7 @@ def single_fault_scenarios(schedule: SystemSchedule) -> list[FaultScenario]:
         return []
     return [
         FaultScenario({iid: 1})
-        for iid in schedule.order
+        for iid in schedule.record.instance_ids
         # A single fault can always hit any instance (cap is e+1 >= 1).
     ]
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.schedule.table import SystemSchedule
+from repro.ttp.medl import PACKED_ID, PACKED_SLOT_END, PACKED_SLOT_START
 
 _MIN_WIDTH = 40
 _MAX_WIDTH = 120
@@ -71,46 +72,53 @@ def render_gantt(
     schedule: SystemSchedule,
     options: GanttOptions | None = None,
 ) -> str:
-    """Render ``schedule`` as an ASCII Gantt chart."""
+    """Render ``schedule`` as an ASCII Gantt chart.
+
+    Painted straight from the record arrays — an export/debug rendering
+    never materializes the placement view.
+    """
     options = options or GanttOptions()
+    record = schedule.record
     width = max(_MIN_WIDTH, min(options.width, _MAX_WIDTH))
-    makespan = schedule.makespan
+    makespan = record.makespan
     scale = _scale(makespan, width)
 
     label_width = max(
-        [len(node) for node in schedule.node_chains] + [3]
+        [len(node) for node in record.nodes] + [3]
     ) + 2
     lines = [
         " " * label_width + line for line in _axis(makespan, width)
     ]
 
-    for node in sorted(schedule.node_chains):
+    for node_index in sorted(
+        range(len(record.nodes)), key=lambda i: record.nodes[i]
+    ):
+        chain = record.node_chains[node_index]
         row = [" "] * width
         slack_end_col = 0
-        for placed in schedule.node_table(node):
-            start = int(placed.root_start * scale)
-            end = max(start + 1, int(placed.root_finish * scale))
-            name = placed.instance_id if options.label_instances else ""
+        for index in chain:
+            start = int(record.root_start[index] * scale)
+            end = max(start + 1, int(record.root_finish[index] * scale))
+            name = record.instance_ids[index] if options.label_instances else ""
             _paint(row, start, end, f"[{name}"[: end - start])
             if end - start >= 2:
                 row[end - 1] = "]"
-            slack_end_col = max(slack_end_col, int(placed.wcf * scale))
-            root_end_col = end
-        if options.show_slack and schedule.node_chains[node]:
+            slack_end_col = max(slack_end_col, int(record.wcf[index] * scale))
+        if options.show_slack and chain:
             # Hatch from the last root finish to the node's worst case.
-            last = schedule.node_table(node)[-1]
-            start = int(last.root_finish * scale)
+            start = int(record.root_finish[chain[-1]] * scale)
             for col in range(start, min(slack_end_col, width)):
                 if row[col] == " ":
                     row[col] = ":"
-        lines.append(f"{node:<{label_width}}" + "".join(row))
+        lines.append(f"{record.nodes[node_index]:<{label_width}}" + "".join(row))
 
-    if options.show_bus and len(schedule.medl):
+    if options.show_bus and record.medl:
         row = [" "] * width
-        for descriptor in schedule.medl:
-            start = int(descriptor.slot_start * scale)
-            end = max(start + 1, int(descriptor.slot_end * scale))
-            name = descriptor.bus_message_id.split("[")[0]
+        for packed in record.medl:
+            slot_start = packed[PACKED_SLOT_START]
+            start = int(slot_start * scale)
+            end = max(start + 1, int(packed[PACKED_SLOT_END] * scale))
+            name = packed[PACKED_ID].split("[")[0]
             _paint(row, start, end, f"-{name}"[: end - start])
             if end - start >= 2:
                 row[end - 1] = "-"
@@ -125,11 +133,14 @@ def render_gantt(
 
 def render_node_table(schedule: SystemSchedule, node: str) -> str:
     """A plain-text schedule table for one node (start/finish/WCF rows)."""
+    record = schedule.record
     rows = [f"schedule table of {node}:"]
     rows.append(f"{'instance':<26}{'start':>10}{'finish':>10}{'WCF':>10}")
-    for placed in schedule.node_table(node):
+    node_index = record.nodes.index(node) if node in record.nodes else -1
+    chain = record.node_chains[node_index] if node_index >= 0 else ()
+    for index in chain:
         rows.append(
-            f"{placed.instance_id:<26}{placed.root_start:>10.2f}"
-            f"{placed.root_finish:>10.2f}{placed.wcf:>10.2f}"
+            f"{record.instance_ids[index]:<26}{record.root_start[index]:>10.2f}"
+            f"{record.root_finish[index]:>10.2f}{record.wcf[index]:>10.2f}"
         )
     return "\n".join(rows)

@@ -18,6 +18,11 @@ and the MEDL for the TTP bus:
    to all other nodes;
 5. finally the guaranteed completion of every process is derived from its
    replicas' worst-case finishes.
+
+The synthesized configuration is emitted as a compact
+:class:`repro.schedule.record.ScheduleRecord` — flat interned arrays, built
+row by row as instances are placed — and returned wrapped in the lazy
+:class:`repro.schedule.table.SystemSchedule` view.
 """
 
 from __future__ import annotations
@@ -36,11 +41,14 @@ from repro.schedule.analysis import (
     guaranteed_completion,
 )
 from repro.schedule.priorities import pcp_priorities
-from repro.schedule.table import (
-    Binding,
-    ScheduledInstance,
-    SystemSchedule,
+from repro.schedule.record import (
+    BIND_INPUT,
+    BIND_NODE,
+    BIND_RELEASE,
+    RecordBuilder,
+    ScheduleRecord,
 )
+from repro.schedule.table import SystemSchedule
 from repro.ttp.bus import BusConfig
 from repro.ttp.schedule import BusScheduler
 
@@ -64,6 +72,17 @@ def schedule_ft_graph(
     bus: BusConfig,
 ) -> SystemSchedule:
     """Schedule an already-expanded FT graph (exposed for tests/tools)."""
+    record = build_schedule_record(graph, ft, faults, bus)
+    return SystemSchedule(record, graph, ft, faults, bus)
+
+
+def build_schedule_record(
+    graph: ProcessGraph,
+    ft: FTGraph,
+    faults: FaultModel,
+    bus: BusConfig,
+) -> ScheduleRecord:
+    """Run the list scheduler and emit the compact IR directly."""
     if len(ft) == 0:
         raise SchedulingError("nothing to schedule: the FT graph is empty")
 
@@ -84,9 +103,7 @@ def schedule_ft_graph(
     ]
     heapq.heapify(ready)
 
-    schedule = SystemSchedule(
-        graph=graph, ft=ft, faults=faults, bus=bus, medl=bus_scheduler.medl
-    )
+    builder = RecordBuilder()
     root_finish: dict[str, float] = {}
     finish_rows: dict[str, tuple[float, ...]] = {}
 
@@ -99,30 +116,33 @@ def schedule_ft_graph(
         )
 
         node = instance.node
-        chain = schedule.node_chains.setdefault(node, [])
+        node_id = builder.node_id(node)
+        chain = builder.chain(node_id)
 
         result = analyzer.place(instance, rel_row)
         if result.dominant == "node" and chain:
-            binding = Binding(kind="node", source=chain[-1])
+            binding = (BIND_NODE, chain[-1], result.dominant_budget)
         else:
             source = rel_sources[result.dominant_budget]
             if source is None:
-                binding = Binding(kind="release")
+                binding = (BIND_RELEASE, -1, result.dominant_budget)
             else:
-                binding = Binding(kind="input", source=source)
+                binding = (
+                    BIND_INPUT,
+                    builder.index_of[source],
+                    result.dominant_budget,
+                )
         root_start = result.root_finish - instance.wcet
-        schedule.placements[iid] = ScheduledInstance(
-            instance_id=iid,
-            process=instance.process,
-            node=node,
+        builder.place(
+            iid=iid,
+            process_id=builder.process_id(instance.process),
+            node_id=node_id,
             root_start=root_start,
             root_finish=result.root_finish,
             wcf=result.wcf,
             finish_row=result.finish_row,
             binding=binding,
         )
-        schedule.order.append(iid)
-        chain.append(iid)
         root_finish[iid] = result.root_finish
         finish_rows[iid] = result.finish_row
         placed_count += 1
@@ -168,8 +188,7 @@ def schedule_ft_graph(
             f"(cycle in the FT graph?): {unplaced[:5]}"
         )
 
-    _derive_completions(schedule, ft, k)
-    return schedule
+    return _seal_record(builder, graph, ft, faults, bus_scheduler)
 
 
 def _release_row(
@@ -263,11 +282,37 @@ def _release_row(
     return rel_row, sources
 
 
-def _derive_completions(schedule: SystemSchedule, ft: FTGraph, k: int) -> None:
-    """Guaranteed completion of every process from its replicas' WCFs."""
+def _seal_record(
+    builder: RecordBuilder,
+    graph: ProcessGraph,
+    ft: FTGraph,
+    faults: FaultModel,
+    bus_scheduler: BusScheduler,
+) -> ScheduleRecord:
+    """Derive completions/groups and freeze the builder into the record."""
+    k = faults.k
+    index_of = builder.index_of
+    wcf = builder.wcf
+    n_processes = builder.process_count
+    replicas: list[tuple[int, ...]] = [()] * n_processes
+    completions: list[float] = [0.0] * n_processes
+    deadlines: list[float | None] = [None] * n_processes
     for process, replica_ids in ft.group_of.items():
+        process_id = builder.process_id(process)
+        indices = tuple(index_of[iid] for iid in replica_ids)
+        replicas[process_id] = indices
         pairs = [
-            (schedule.placements[iid].wcf, ft.instances[iid].kill_cost)
-            for iid in replica_ids
+            (wcf[index], ft.instances[iid].kill_cost)
+            for index, iid in zip(indices, replica_ids)
         ]
-        schedule.completions[process] = guaranteed_completion(pairs, k)
+        completions[process_id] = guaranteed_completion(pairs, k)
+        deadlines[process_id] = graph.processes[process].deadline
+    medl = bus_scheduler.medl.packed(builder.node_index)
+    return builder.finish(
+        process_replicas=tuple(replicas),
+        completions=tuple(completions),
+        deadlines=tuple(deadlines),
+        medl=medl,
+        k=k,
+        mu=faults.mu,
+    )

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.schedule.table import SystemSchedule
+from repro.ttp.medl import PACKED_ROUND, PACKED_SIZE, PACKED_SLOT_END
 
 
 @dataclass(frozen=True)
@@ -124,35 +125,38 @@ class ScheduleMetrics:
 
 
 def compute_metrics(schedule: SystemSchedule) -> ScheduleMetrics:
-    """Derive :class:`ScheduleMetrics` from a synthesized schedule."""
-    makespan = schedule.makespan
+    """Derive :class:`ScheduleMetrics` from a synthesized schedule.
+
+    Reads the compact record arrays directly — deriving diagnostics never
+    materializes the per-instance placement view.
+    """
+    record = schedule.record
+    makespan = record.makespan
     metrics = ScheduleMetrics(makespan=makespan)
 
-    for node, chain in schedule.node_chains.items():
+    for node_index, chain in enumerate(record.node_chains):
         busy = 0.0
         slack = 0.0
-        for iid in chain:
-            placed = schedule.placements[iid]
-            busy += placed.root_finish - placed.root_start
+        for index in chain:
+            busy += record.root_finish[index] - record.root_start[index]
         if chain:
-            last = schedule.placements[chain[-1]]
-            node_wcf = max(schedule.placements[iid].wcf for iid in chain)
-            slack = max(0.0, node_wcf - last.root_finish)
-        metrics.nodes[node] = NodeMetrics(
-            node=node,
+            node_wcf = max(record.wcf[index] for index in chain)
+            slack = max(0.0, node_wcf - record.root_finish[chain[-1]])
+        metrics.nodes[record.nodes[node_index]] = NodeMetrics(
+            node=record.nodes[node_index],
             busy_time=busy,
             slack_time=slack,
             horizon=makespan,
             instances=len(chain),
         )
 
-    descriptors = list(schedule.medl)
+    rows = record.medl
     metrics.bus = BusMetrics(
-        frames=len(descriptors),
-        payload_bytes=sum(d.size_bytes for d in descriptors),
-        rounds_used=len({d.round_index for d in descriptors}),
+        frames=len(rows),
+        payload_bytes=sum(row[PACKED_SIZE] for row in rows),
+        rounds_used=len({row[PACKED_ROUND] for row in rows}),
         round_length=schedule.bus.round_length,
-        last_slot_end=schedule.medl.last_slot_end(),
+        last_slot_end=max((row[PACKED_SLOT_END] for row in rows), default=0.0),
     )
 
     base = len(schedule.ft.group_of)

@@ -1,21 +1,35 @@
-"""Schedule tables: the synthesized system configuration ``S`` (paper §4).
+"""Schedule views: the synthesized system configuration ``S`` (paper §4).
 
-A :class:`SystemSchedule` bundles the per-node static schedule tables (root
-start times plus worst-case finish rows), the bus MEDL, and the analysis
-results (guaranteed completions, schedule length, schedulability).  It also
-records, for every instance, the *binding* constraint that determined its
-root start time; following bindings backwards yields the critical path used
-by the optimization moves (paper §5.2).
+The canonical schedule artifact is the compact, immutable
+:class:`repro.schedule.record.ScheduleRecord`; a :class:`SystemSchedule`
+binds one record to its model context (merged graph, FT graph, fault model,
+bus config) and *lazily* renders the classic object views from it — the
+per-node schedule tables, the instance placements, the MEDL and the
+guaranteed completions.  Nothing is materialized until a caller asks, so a
+schedule that is only priced (the optimizer hot path) never grows beyond
+its record.
+
+Materialized views are cached and mutable on purpose: tests and what-if
+tooling overwrite individual placements or completions, and every consumer
+that reads *through the view* observes the change — the validator's
+analytical bounds (``placements[iid].wcf``, ``completions``) and the
+view-level :meth:`SystemSchedule.critical_path` are such readers.  Replay
+structure, however, comes from the IR: the simulator takes instance order
+and table start times from the record's flat arrays, and contingency
+tables measure shifts against the record's root schedule, so editing a
+view never alters *when* the synthesized tables dispatch.  The record
+always keeps the as-synthesized truth.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import SchedulingError
 from repro.model.application import ProcessGraph
 from repro.model.fault import FaultModel
 from repro.model.ftgraph import FTGraph
+from repro.schedule.record import BINDING_KINDS, ScheduleRecord
 from repro.ttp.bus import BusConfig
 from repro.ttp.medl import MEDL
 
@@ -47,19 +61,114 @@ class ScheduledInstance:
     binding: Binding
 
 
-@dataclass
 class SystemSchedule:
-    """The full synthesized schedule plus its worst-case analysis."""
+    """Thin view over a :class:`ScheduleRecord` bound to its model context."""
 
-    graph: ProcessGraph
-    ft: FTGraph
-    faults: FaultModel
-    bus: BusConfig
-    medl: MEDL
-    placements: dict[str, ScheduledInstance] = field(default_factory=dict)
-    order: list[str] = field(default_factory=list)
-    node_chains: dict[str, list[str]] = field(default_factory=dict)
-    completions: dict[str, float] = field(default_factory=dict)
+    __slots__ = (
+        "record",
+        "graph",
+        "ft",
+        "faults",
+        "bus",
+        "_placements",
+        "_order",
+        "_node_chains",
+        "_completions",
+        "_medl",
+    )
+
+    def __init__(
+        self,
+        record: ScheduleRecord,
+        graph: ProcessGraph,
+        ft: FTGraph,
+        faults: FaultModel,
+        bus: BusConfig,
+    ) -> None:
+        self.record = record
+        self.graph = graph
+        self.ft = ft
+        self.faults = faults
+        self.bus = bus
+        self._placements: dict[str, ScheduledInstance] | None = None
+        self._order: list[str] | None = None
+        self._node_chains: dict[str, list[str]] | None = None
+        self._completions: dict[str, float] | None = None
+        self._medl: MEDL | None = None
+
+    @classmethod
+    def from_record(
+        cls,
+        record: ScheduleRecord,
+        graph: ProcessGraph,
+        ft: FTGraph,
+        faults: FaultModel,
+        bus: BusConfig,
+    ) -> "SystemSchedule":
+        """Rebind a record (e.g. one shipped from a worker) to its context."""
+        return cls(record, graph, ft, faults, bus)
+
+    # -- lazily materialized views ----------------------------------------
+
+    @property
+    def placements(self) -> dict[str, ScheduledInstance]:
+        """Instance id -> schedule-table row, rendered from the record."""
+        if self._placements is None:
+            record = self.record
+            ids = record.instance_ids
+            placements: dict[str, ScheduledInstance] = {}
+            for index, iid in enumerate(ids):
+                kind, source, _ = record.bindings[index]
+                placements[iid] = ScheduledInstance(
+                    instance_id=iid,
+                    process=record.processes[record.instance_process[index]],
+                    node=record.nodes[record.instance_node[index]],
+                    root_start=record.root_start[index],
+                    root_finish=record.root_finish[index],
+                    wcf=record.wcf[index],
+                    finish_row=record.finish_rows[index],
+                    binding=Binding(
+                        kind=BINDING_KINDS[kind],
+                        source=None if source < 0 else ids[source],
+                    ),
+                )
+            self._placements = placements
+        return self._placements
+
+    @property
+    def order(self) -> list[str]:
+        """Instance ids in placement (= simulation replay) order."""
+        if self._order is None:
+            self._order = list(self.record.instance_ids)
+        return self._order
+
+    @property
+    def node_chains(self) -> dict[str, list[str]]:
+        """Per-node execution chains, as instance ids."""
+        if self._node_chains is None:
+            record = self.record
+            self._node_chains = {
+                record.nodes[node_index]: [
+                    record.instance_ids[i] for i in chain
+                ]
+                for node_index, chain in enumerate(record.node_chains)
+            }
+        return self._node_chains
+
+    @property
+    def completions(self) -> dict[str, float]:
+        """Guaranteed completion per process."""
+        if self._completions is None:
+            record = self.record
+            self._completions = dict(zip(record.processes, record.completions))
+        return self._completions
+
+    @property
+    def medl(self) -> MEDL:
+        """The bus MEDL, rendered from the record's packed descriptors."""
+        if self._medl is None:
+            self._medl = MEDL.from_packed(self.record.medl, self.record.nodes)
+        return self._medl
 
     # -- schedule-level metrics ---------------------------------------------
 
@@ -109,10 +218,10 @@ class SystemSchedule:
     def critical_path(self) -> list[str]:
         """Process names on the chain of constraints behind the makespan.
 
-        Starting from the process whose guaranteed completion equals the
-        schedule length, follow each instance's binding backwards (node
-        predecessor or input sender) until a release-bound instance is
-        reached.  The result is ordered source -> sink, deduplicated.
+        Walks the materialized placement view (so hand-edited placements
+        are honoured); the allocation-free equivalent over the raw index
+        triples is :meth:`ScheduleRecord.critical_path`, which the
+        optimizer uses.
         """
         target = max(self.completions, key=lambda p: (self.completions[p], p))
         replicas = self.ft.replicas(target)

@@ -16,11 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
+from repro.model.application import ProcessGraph
+from repro.model.fault import FaultModel
 from repro.model.ftgraph import FTGraph
+from repro.schedule.record import ScheduleRecord
 from repro.schedule.table import SystemSchedule
 from repro.sim.controller import TTPBusModel
 from repro.sim.faults import FaultScenario
 from repro.sim.kernel import ExecutionRecord, NodeKernel
+from repro.ttp.bus import BusConfig
 
 _EPS = 1e-6
 
@@ -50,25 +54,42 @@ class SimulationResult:
 
 
 class SystemSimulator:
-    """Reusable simulator bound to one synthesized schedule."""
+    """Reusable simulator bound to one synthesized schedule.
+
+    The replay runs off the compact schedule IR: instance order and table
+    start times are read from the record's flat arrays, so simulating never
+    materializes the per-instance placement view.
+    """
 
     def __init__(self, schedule: SystemSchedule) -> None:
         self.schedule = schedule
         self.ft: FTGraph = schedule.ft
 
+    @classmethod
+    def from_record(
+        cls,
+        record: ScheduleRecord,
+        graph: ProcessGraph,
+        ft: FTGraph,
+        faults: FaultModel,
+        bus: BusConfig,
+    ) -> "SystemSimulator":
+        """Replay a bare record (e.g. one shipped back from a worker)."""
+        return cls(SystemSchedule.from_record(record, graph, ft, faults, bus))
+
     def run(self, scenario: FaultScenario) -> SimulationResult:
         """Simulate one cycle under ``scenario`` (faults may exceed k)."""
         schedule = self.schedule
         ft = self.ft
+        table = schedule.record
         bus = TTPBusModel(schedule.medl)
         kernels = {
-            node: NodeKernel(node, schedule.faults) for node in schedule.node_chains
+            node: NodeKernel(node, schedule.faults) for node in table.nodes
         }
         result = SimulationResult(scenario=scenario)
 
-        for iid in schedule.order:
+        for index, iid in enumerate(table.instance_ids):
             instance = ft.instance(iid)
-            placed = schedule.placements[iid]
             inputs_ready, starved = self._inputs_ready(iid, bus, result)
             if starved:
                 result.starved.append(iid)
@@ -77,7 +98,7 @@ class SystemSimulator:
                 continue
             record = kernels[instance.node].execute(
                 instance=instance,
-                table_start=placed.root_start,
+                table_start=table.root_start[index],
                 inputs_ready=inputs_ready,
                 failed_attempts=scenario.failures_of(iid),
             )

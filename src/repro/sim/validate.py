@@ -20,8 +20,13 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.errors import FaultToleranceViolation
+from repro.model.application import ProcessGraph
+from repro.model.fault import FaultModel
+from repro.model.ftgraph import FTGraph
+from repro.schedule.record import ScheduleRecord
 from repro.schedule.table import SystemSchedule
 from repro.sim.engine import SystemSimulator
+from repro.ttp.bus import BusConfig
 from repro.sim.faults import (
     FaultScenario,
     adversarial_scenarios,
@@ -89,6 +94,28 @@ def validate_schedule(
         report.scenarios_checked += 1
         _check_one(simulator, scenario, report)
     return report
+
+
+def validate_record(
+    record: ScheduleRecord,
+    graph: ProcessGraph,
+    ft: FTGraph,
+    faults: FaultModel,
+    bus: BusConfig,
+    scenarios: Iterable[FaultScenario] | None = None,
+    samples: int = 200,
+    rng: random.Random | None = None,
+) -> ValidationReport:
+    """Fault-inject a bare schedule IR rebound to its model context.
+
+    This is the replay path for records that crossed a process boundary
+    (experiment workers return :class:`ScheduleRecord` values, not view
+    objects): the record is wrapped in a lazy view against a locally
+    expanded FT graph and validated exactly like a freshly synthesized
+    schedule.
+    """
+    schedule = SystemSchedule.from_record(record, graph, ft, faults, bus)
+    return validate_schedule(schedule, scenarios=scenarios, samples=samples, rng=rng)
 
 
 def _check_one(

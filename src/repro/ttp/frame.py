@@ -8,8 +8,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.ttp.medl import MessageDescriptor
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,3 +73,43 @@ class Frame:
         self.allocations.append(allocation)
         self._used_bytes += size_bytes
         return allocation
+
+
+def frames_from_descriptors(
+    descriptors: Iterable["MessageDescriptor"],
+    capacity_of: Callable[[str], int],
+) -> list[Frame]:
+    """Re-render the frame packing from MEDL descriptors.
+
+    The MEDL fully determines the packing — every descriptor carries its
+    slot (sender node + round) and byte offset — so frames never need to be
+    stored next to a synthesized schedule: any view that wants the "N
+    messages in this slot" perspective rebuilds it from the descriptor
+    rows.  Frames are returned in slot-time order, allocations in byte
+    order, exactly as the stateful :class:`repro.ttp.schedule.BusScheduler`
+    packed them.
+    """
+    by_slot: dict[tuple[str, int], list["MessageDescriptor"]] = {}
+    slot_start: dict[tuple[str, int], float] = {}
+    for descriptor in descriptors:
+        key = (descriptor.sender_node, descriptor.round_index)
+        by_slot.setdefault(key, []).append(descriptor)
+        slot_start[key] = descriptor.slot_start
+    frames: list[Frame] = []
+    for key in sorted(by_slot, key=lambda k: (slot_start[k], k)):
+        node, round_index = key
+        frame = Frame(
+            node=node,
+            round_index=round_index,
+            capacity_bytes=capacity_of(node),
+            allocations=[
+                FrameAllocation(
+                    bus_message_id=d.bus_message_id,
+                    offset_bytes=d.offset_bytes,
+                    size_bytes=d.size_bytes,
+                )
+                for d in sorted(by_slot[key], key=lambda d: d.offset_bytes)
+            ],
+        )
+        frames.append(frame)
+    return frames

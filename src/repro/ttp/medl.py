@@ -9,9 +9,27 @@ used by the simulated controllers in :mod:`repro.sim.controller`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import ConfigurationError
+
+#: Packed descriptor row: ``(bus_message_id, node_index, round_index,
+#: slot_start, slot_end, offset_bytes, size_bytes)`` with the sender node
+#: interned to an index.  This is the shape MEDL entries take inside a
+#: :class:`repro.schedule.record.ScheduleRecord`.  Deliberately a *plain*
+#: tuple, not a NamedTuple: CPython's GC only untracks exact tuples, and
+#: the record's GC-invisibility argument (DESIGN.md) depends on that.
+#: Consumers index rows via the ``PACKED_*`` constants below.
+PackedDescriptor = tuple[str, int, int, float, float, int, int]
+
+#: Field positions within a :data:`PackedDescriptor` row.
+PACKED_ID = 0
+PACKED_NODE = 1
+PACKED_ROUND = 2
+PACKED_SLOT_START = 3
+PACKED_SLOT_END = 4
+PACKED_OFFSET = 5
+PACKED_SIZE = 6
 
 
 @dataclass(frozen=True, slots=True)
@@ -30,6 +48,33 @@ class MessageDescriptor:
     def arrival(self) -> float:
         """Delivery time at every receiver: end of the slot."""
         return self.slot_end
+
+    def pack(self, node_index: int) -> PackedDescriptor:
+        """Flatten into the record row format (sender interned)."""
+        return (
+            self.bus_message_id,
+            node_index,
+            self.round_index,
+            self.slot_start,
+            self.slot_end,
+            self.offset_bytes,
+            self.size_bytes,
+        )
+
+
+def unpack_descriptor(
+    row: PackedDescriptor, nodes: Sequence[str]
+) -> MessageDescriptor:
+    """Rehydrate one packed row against the record's node intern table."""
+    return MessageDescriptor(
+        bus_message_id=row[0],
+        sender_node=nodes[row[1]],
+        round_index=row[2],
+        slot_start=row[3],
+        slot_end=row[4],
+        offset_bytes=row[5],
+        size_bytes=row[6],
+    )
 
 
 class MEDL:
@@ -66,6 +111,23 @@ class MEDL:
     def by_id(self) -> dict[str, MessageDescriptor]:
         """The id -> descriptor mapping (read-only hot-path view)."""
         return self._by_id
+
+    def packed(self, node_index_of: Mapping[str, int]) -> tuple[PackedDescriptor, ...]:
+        """All descriptors as packed rows, in scheduling (insertion) order."""
+        return tuple(
+            descriptor.pack(node_index_of[descriptor.sender_node])
+            for descriptor in self._by_id.values()
+        )
+
+    @classmethod
+    def from_packed(
+        cls, rows: Iterable[PackedDescriptor], nodes: Sequence[str]
+    ) -> "MEDL":
+        """Render a MEDL from a record's packed rows (lazy view path)."""
+        medl = cls()
+        for row in rows:
+            medl.add(unpack_descriptor(row, nodes))
+        return medl
 
     def arrival(self, bus_message_id: str) -> float:
         return self[bus_message_id].arrival

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.errors import ConfigurationError
 from repro.ttp.bus import BusConfig
-from repro.ttp.frame import Frame
+from repro.ttp.frame import Frame, frames_from_descriptors
 from repro.ttp.medl import MEDL, MessageDescriptor
 
 
@@ -80,6 +80,11 @@ class BusScheduler:
             round_index += 1
 
     def frames(self) -> list[Frame]:
-        """All non-empty frames, ordered by time."""
-        used = [f for f in self._frames.values() if f.allocations]
-        return sorted(used, key=lambda f: self.bus.slot_start(f.node, f.round_index))
+        """All non-empty frames, ordered by time.
+
+        Rendered from the MEDL descriptors rather than the internal
+        allocation state: the descriptors are the canonical artifact (they
+        are what a :class:`repro.schedule.record.ScheduleRecord` retains),
+        so every frame view must be derivable from them alone.
+        """
+        return frames_from_descriptors(self.medl, self.bus.capacity_bytes)

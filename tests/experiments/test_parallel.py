@@ -1,12 +1,21 @@
 """Tests for the parallel experiment runner (fan-out + serial parity)."""
 
+import os
+import pickle
+
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.experiments.figure10 import figure10
-from repro.experiments.parallel import CaseJob, run_case_job, run_case_jobs
+from repro.experiments.parallel import (
+    CaseJob,
+    resolve_jobs,
+    run_case_job,
+    run_case_jobs,
+)
 from repro.experiments.table1 import table1a, table1b
 from repro.opt.strategy import OptimizationConfig
+from repro.schedule.record import ScheduleRecord
 
 #: Deterministic budget: no wall-clock limit, so serial and parallel runs
 #: perform bit-identical searches regardless of scheduling jitter.
@@ -36,6 +45,38 @@ class TestRunCaseJobs:
     def test_invalid_job_count_rejected(self):
         with pytest.raises(ConfigurationError):
             run_case_jobs([], n_jobs=0)
+
+    def test_results_carry_schedule_records_across_workers(self):
+        """Workers return the full compact schedule IR, not just scalars."""
+        jobs = [
+            CaseJob(8, 2, 2, 5.0, seed, ("NFT", "MXR"), config=TINY)
+            for seed in (0, 1)
+        ]
+        for result in run_case_jobs(jobs, n_jobs=2):
+            for run in result.values():
+                assert isinstance(run.record, ScheduleRecord)
+                assert run.record.makespan == pytest.approx(run.makespan)
+                # Cheap to re-ship onward (distributed-queue backends).
+                assert pickle.loads(pickle.dumps(run.record)) == run.record
+
+
+class TestResolveJobs:
+    def test_passthrough_for_positive_counts(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_minus_one_means_all_cpus(self):
+        assert resolve_jobs(-1) == (os.cpu_count() or 1)
+
+    @pytest.mark.parametrize("bad", [0, -2, -17])
+    def test_zero_and_other_negatives_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(bad)
+
+    def test_run_case_jobs_accepts_all_cpus_sentinel(self):
+        job = CaseJob(8, 2, 2, 5.0, 0, ("NFT",), config=TINY)
+        (result,) = run_case_jobs([job], n_jobs=-1)
+        assert result["NFT"].makespan == run_case_job(job)["NFT"].makespan
 
     def test_progress_reports_every_job(self):
         jobs = [

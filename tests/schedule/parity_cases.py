@@ -1,0 +1,82 @@
+"""Shared fixtures of the view-parity suite (see test_view_parity.py).
+
+The cases and renderings defined here were run once against the seed
+(pre-`ScheduleRecord`) pipeline to produce the golden files under
+``tests/data/goldens/``; the parity suite re-renders every view from the
+current pipeline and asserts byte-identical output.  Regenerate the goldens
+only when the *schedule itself* legitimately changes (never to paper over a
+view regression)::
+
+    PYTHONPATH=src:tests python -m schedule.parity_cases
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.gen.suite import generate_case
+from repro.model.merge import merge_application
+from repro.opt.initial import initial_bus_access, initial_mpa
+from repro.schedule.gantt import GanttOptions, render_gantt, render_node_table
+from repro.schedule.list_scheduler import list_schedule
+from repro.schedule.metrics import compute_metrics
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "data" / "goldens"
+
+#: (tag, n_processes, n_nodes, k, seed, initial_replicas) — replicas > 1
+#: exercises fast/guaranteed frames, 1 exercises pure re-execution.
+CASES = [
+    ("reexec_8p2n_k2", 8, 2, 2, 0, 1),
+    ("replicated_10p3n_k2", 10, 3, 2, 3, 3),
+    ("mixed_14p2n_k3", 14, 2, 3, 7, 2),
+]
+
+
+def build_schedule(n_processes, n_nodes, k, seed, initial_replicas):
+    case = generate_case(n_processes, n_nodes, k, mu=5.0, seed=seed)
+    merged = merge_application(case.application)
+    bus = initial_bus_access(case.application, case.architecture)
+    impl = initial_mpa(
+        merged, case.architecture, case.faults, bus, initial_replicas
+    )
+    return list_schedule(merged, case.faults, impl.policies, impl.mapping, bus)
+
+
+def render_views(schedule) -> dict[str, str]:
+    """Every user-facing rendering of one synthesized schedule."""
+    first_node = sorted(schedule.node_chains)[0]
+    medl_lines = [
+        f"{d.bus_message_id} {d.sender_node} r{d.round_index} "
+        f"[{d.slot_start:.3f},{d.slot_end:.3f}) off={d.offset_bytes} "
+        f"size={d.size_bytes}"
+        for d in sorted(
+            schedule.medl, key=lambda d: (d.slot_start, d.offset_bytes)
+        )
+    ]
+    completions = [
+        f"{name} {schedule.completions[name]:.6f}"
+        for name in sorted(schedule.completions)
+    ]
+    return {
+        "tables": schedule.format_tables(),
+        "gantt": render_gantt(schedule, GanttOptions(width=80)),
+        "node_table": render_node_table(schedule, first_node),
+        "metrics": compute_metrics(schedule).format(),
+        "medl": "\n".join(medl_lines),
+        "completions": "\n".join(completions),
+        "critical_path": " -> ".join(schedule.critical_path()),
+    }
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for tag, *params in CASES:
+        schedule = build_schedule(*params)
+        for view, text in render_views(schedule).items():
+            path = GOLDEN_DIR / f"{tag}__{view}.txt"
+            path.write_text(text + "\n")
+            print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

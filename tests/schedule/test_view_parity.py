@@ -1,0 +1,81 @@
+"""Parity suite: every lazily rendered view matches the pre-refactor output.
+
+The golden files under ``tests/data/goldens/`` were produced by the seed
+pipeline (eager ``SystemSchedule`` object graphs) immediately before the
+``ScheduleRecord`` refactor.  Every user-facing rendering — node tables,
+Gantt, metrics, MEDL, completions, critical path — must stay byte-identical
+when derived lazily from the compact IR.
+"""
+
+import pickle
+
+import pytest
+
+from repro.ttp.frame import frames_from_descriptors
+from repro.ttp.schedule import BusScheduler
+
+from tests.schedule.parity_cases import (
+    CASES,
+    GOLDEN_DIR,
+    build_schedule,
+    render_views,
+)
+
+VIEWS = (
+    "tables",
+    "gantt",
+    "node_table",
+    "metrics",
+    "medl",
+    "completions",
+    "critical_path",
+)
+
+
+@pytest.fixture(scope="module")
+def schedules():
+    return {tag: build_schedule(*params) for tag, *params in CASES}
+
+
+@pytest.mark.parametrize("tag", [case[0] for case in CASES])
+@pytest.mark.parametrize("view", VIEWS)
+def test_view_matches_golden(schedules, tag, view):
+    golden = (GOLDEN_DIR / f"{tag}__{view}.txt").read_text()
+    rendered = render_views(schedules[tag])[view]
+    assert rendered + "\n" == golden
+
+
+@pytest.mark.parametrize("tag", [case[0] for case in CASES])
+def test_views_survive_the_process_boundary(schedules, tag):
+    """Re-rendering from a pickled record must reproduce the goldens too:
+    this is the contract that lets experiment workers return records."""
+    from repro.schedule.table import SystemSchedule
+
+    schedule = schedules[tag]
+    record = pickle.loads(pickle.dumps(schedule.record))
+    rebound = SystemSchedule.from_record(
+        record, schedule.graph, schedule.ft, schedule.faults, schedule.bus
+    )
+    for view, rendered in render_views(rebound).items():
+        golden = (GOLDEN_DIR / f"{tag}__{view}.txt").read_text()
+        assert rendered + "\n" == golden
+
+
+@pytest.mark.parametrize("tag", [case[0] for case in CASES])
+def test_frames_render_identically_from_descriptors(schedules, tag):
+    """The frame packing reconstructed from MEDL descriptors equals the
+    packing the stateful bus scheduler produced while scheduling."""
+    schedule = schedules[tag]
+    rebuilt = frames_from_descriptors(schedule.medl, schedule.bus.capacity_bytes)
+    # Re-run the bus side alone to obtain the scheduler's own frame list.
+    scheduler = BusScheduler(schedule.bus)
+    for descriptor in sorted(
+        schedule.medl, key=lambda d: (d.round_index, d.slot_start, d.offset_bytes)
+    ):
+        scheduler.schedule_message(
+            bus_message_id=descriptor.bus_message_id,
+            sender_node=descriptor.sender_node,
+            size_bytes=descriptor.size_bytes,
+            ready_time=descriptor.slot_start,
+        )
+    assert rebuilt == scheduler.frames()

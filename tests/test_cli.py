@@ -1,8 +1,11 @@
 """Smoke tests for the ftds command-line interface."""
 
+import argparse
+import os
+
 import pytest
 
-from repro.cli import main
+from repro.cli import _jobs_arg, main
 
 
 class TestCLI:
@@ -47,6 +50,29 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "schedule length" in out
         assert "N1" in out
+
+    def test_jobs_zero_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1a", "--jobs", "0"])
+        assert excinfo.value.code == 2  # argparse usage error
+        assert "-1 for all CPUs" in capsys.readouterr().err
+
+    def test_jobs_negative_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["figure10", "--jobs", "-3"])
+        assert excinfo.value.code == 2
+        assert "n_jobs" in capsys.readouterr().err
+
+    def test_jobs_non_integer_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1a", "--jobs", "many"])
+        assert "invalid" in capsys.readouterr().err
+
+    def test_jobs_minus_one_resolves_to_all_cpus(self):
+        assert _jobs_arg("-1") == (os.cpu_count() or 1)
+        assert _jobs_arg("4") == 4
+        with pytest.raises(argparse.ArgumentTypeError):
+            _jobs_arg("0")
 
     def test_export_round_trips(self, tmp_path, capsys):
         target = tmp_path / "case.json"
