@@ -12,6 +12,12 @@ Scaled-down laptop runs (defaults)::
 Paper-scale runs (hours)::
 
     ftds table1a --seeds 15 --time-scale 20
+
+Distributed runs over a shared broker file (see EXPERIMENTS.md)::
+
+    ftds table1a --seeds 15 --time-scale 20 --broker /shared/q.db --jobs 4
+    ftds worker --broker /shared/q.db          # attach from other machines
+    ftds table1a --seeds 15 --time-scale 20 --broker /shared/q.db --resume
 """
 
 from __future__ import annotations
@@ -40,6 +46,20 @@ def _positive_int(value: str) -> int:
     number = int(value)
     if number < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {number}")
+    return number
+
+
+def _positive_float(value: str) -> float:
+    number = float(value)
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {number}")
+    return number
+
+
+def _non_negative_int(value: str) -> int:
+    number = int(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {number}")
     return number
 
 
@@ -84,6 +104,26 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-case progress lines"
     )
+    parser.add_argument(
+        "--broker",
+        default=None,
+        metavar="PATH",
+        help=(
+            "drive the sweep through a durable SQLite work queue at PATH "
+            "instead of a process pool; --jobs N local workers are "
+            "attached, and more can join from other machines via "
+            "'ftds worker --broker PATH' on a shared filesystem"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "with --broker: continue a partial sweep, decoding results of "
+            "already-completed jobs from the broker instead of re-running "
+            "them"
+        ),
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -115,6 +155,43 @@ def main(argv: list[str] | None = None) -> int:
         _add_common(sub)
 
     subparsers.add_parser("cc", help="cruise controller experiment (paper §6)")
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="run a work-queue consumer daemon against a broker file",
+    )
+    worker.add_argument(
+        "--broker", required=True, metavar="PATH", help="SQLite broker file"
+    )
+    worker.add_argument(
+        "--lease",
+        type=_positive_float,
+        default=None,
+        help="lease seconds per job (default: queue default)",
+    )
+    worker.add_argument(
+        "--max-jobs",
+        type=_positive_int,
+        default=None,
+        help="exit after acking this many jobs",
+    )
+    worker.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit when the queue is fully processed instead of polling",
+    )
+    worker.add_argument(
+        "--validate-samples",
+        type=_non_negative_int,
+        default=None,
+        help=(
+            "fault-injection samples per schedule before acking "
+            "(0 disables validation; default: queue default)"
+        ),
+    )
+    worker.add_argument(
+        "--quiet", action="store_true", help="suppress per-job ack lines"
+    )
 
     validate = subparsers.add_parser(
         "validate", help="optimize one random case and fault-inject the schedule"
@@ -149,42 +226,71 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     progress = None if getattr(args, "quiet", True) else _progress
 
-    if args.command == "table1a":
+    sweeps = {"table1a": table1a, "table1b": table1b, "table1c": table1c,
+              "figure10": figure10}
+    if args.command in sweeps:
+        if args.resume and args.broker is None:
+            parser.error("--resume requires --broker")
+        broker = None
+        if args.broker is not None:
+            from repro.queue.sqlite import SqliteBroker
+
+            broker = SqliteBroker(args.broker)
         seeds = tuple(range(args.seeds))
-        rows = table1a(
-            seeds=seeds, time_scale=args.time_scale, progress=progress,
-            jobs=args.jobs,
-        )
-        print(format_table1(rows, "Table 1a: MXR overhead vs application size"))
-    elif args.command == "table1b":
-        seeds = tuple(range(args.seeds))
-        rows = table1b(
-            seeds=seeds, time_scale=args.time_scale, progress=progress,
-            jobs=args.jobs,
-        )
-        print(format_table1(rows, "Table 1b: MXR overhead vs number of faults"))
-    elif args.command == "table1c":
-        seeds = tuple(range(args.seeds))
-        rows = table1c(
-            seeds=seeds, time_scale=args.time_scale, progress=progress,
-            jobs=args.jobs,
-        )
-        print(format_table1(rows, "Table 1c: MXR overhead vs fault duration"))
-    elif args.command == "figure10":
-        seeds = tuple(range(args.seeds))
-        rows = figure10(
-            seeds=seeds, time_scale=args.time_scale, progress=progress,
-            jobs=args.jobs,
-        )
-        print(format_figure10(rows))
+        try:
+            rows = sweeps[args.command](
+                seeds=seeds, time_scale=args.time_scale, progress=progress,
+                jobs=args.jobs, broker=broker, resume=args.resume,
+            )
+        finally:
+            if broker is not None:
+                broker.close()
+        if args.command == "figure10":
+            print(format_figure10(rows))
+        else:
+            titles = {
+                "table1a": "Table 1a: MXR overhead vs application size",
+                "table1b": "Table 1b: MXR overhead vs number of faults",
+                "table1c": "Table 1c: MXR overhead vs fault duration",
+            }
+            print(format_table1(rows, titles[args.command]))
     elif args.command == "cc":
         print(format_cruise(run_cruise_experiment()))
+    elif args.command == "worker":
+        return _run_worker(args)
     elif args.command == "validate":
         _run_validate(args)
     elif args.command == "gantt":
         _run_gantt(args)
     elif args.command == "export":
         _run_export(args)
+    return 0
+
+
+def _run_worker(args: argparse.Namespace) -> int:
+    from repro.queue.sqlite import SqliteBroker
+    from repro.queue.worker import (
+        DEFAULT_LEASE_S,
+        DEFAULT_VALIDATE_SAMPLES,
+        Worker,
+    )
+
+    validate_samples: int | None = DEFAULT_VALIDATE_SAMPLES
+    if args.validate_samples is not None:
+        validate_samples = args.validate_samples or None  # 0 disables
+    broker = SqliteBroker(args.broker)
+    try:
+        worker = Worker(
+            broker,
+            lease_s=args.lease if args.lease is not None else DEFAULT_LEASE_S,
+            validate_samples=validate_samples,
+            progress=None if args.quiet else _progress,
+        )
+        acked = worker.run(drain=args.drain, max_jobs=args.max_jobs)
+    finally:
+        broker.close()
+    print(f"worker {worker.worker_id}: acked {acked} job(s), "
+          f"{worker.failed} failure(s)")
     return 0
 
 

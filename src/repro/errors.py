@@ -30,3 +30,11 @@ class SimulationError(ReproError):
 
 class FaultToleranceViolation(ReproError):
     """A synthesized schedule failed validation under fault injection."""
+
+
+class ExperimentJobError(ReproError):
+    """An experiment job raised in a worker; carries the job description."""
+
+
+class QueueError(ReproError):
+    """A work-queue operation failed or a sweep dead-lettered jobs."""

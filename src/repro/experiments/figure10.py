@@ -43,6 +43,8 @@ def figure10(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     config: OptimizationConfig | None = None,
+    broker=None,
+    resume: bool = False,
 ) -> list[Figure10Row]:
     """Regenerate the Figure 10 series."""
     job_list = sweep_jobs(
@@ -54,7 +56,10 @@ def figure10(
         config,
         tag="figure10",
     )
-    results = run_case_jobs(job_list, n_jobs=jobs, progress=progress)
+    results = run_case_jobs(
+        job_list, n_jobs=jobs, progress=progress, broker=broker,
+        resume=resume,
+    )
 
     rows: list[Figure10Row] = []
     index = 0

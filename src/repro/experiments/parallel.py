@@ -23,7 +23,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ExperimentJobError
 from repro.experiments.runner import VariantRun, run_variants
 from repro.gen.suite import generate_case
 from repro.opt.strategy import OptimizationConfig
@@ -68,20 +68,35 @@ def resolve_jobs(n_jobs: int) -> int:
     return n_jobs
 
 
-def run_case_job(job: CaseJob) -> dict[str, VariantRun]:
+def run_case_job(
+    job: CaseJob, validate_samples: int | None = None
+) -> dict[str, VariantRun]:
     """Regenerate and optimize one job's case (executed in the worker)."""
     case = generate_case(
         job.n_processes, job.n_nodes, job.k, mu=job.mu, seed=job.seed
     )
     return run_variants(
-        case, job.variants, time_scale=job.time_scale, config=job.config
+        case,
+        job.variants,
+        time_scale=job.time_scale,
+        config=job.config,
+        validate_samples=validate_samples,
     )
+
+
+def _timed_case_job(job: CaseJob) -> tuple[dict[str, VariantRun], float]:
+    """Pool entry point: run one job and report its wall-clock alongside."""
+    started = time.monotonic()
+    result = run_case_job(job)
+    return result, time.monotonic() - started
 
 
 def run_case_jobs(
     jobs: Iterable[CaseJob],
     n_jobs: int = 1,
     progress: Callable[[str], None] | None = None,
+    broker=None,
+    resume: bool = False,
 ) -> list[dict[str, VariantRun]]:
     """Run every job and return results in submission order.
 
@@ -91,9 +106,28 @@ def run_case_jobs(
     the input job list, and every :class:`VariantRun` carries the winning
     schedule's compact :class:`~repro.schedule.record.ScheduleRecord` —
     the IR is what makes the worker results cheap to pickle back.
+
+    With ``broker`` set the sweep is driven through the distributed work
+    queue instead of a process pool: jobs are enqueued as durable JSON
+    payloads, ``n_jobs`` local worker processes (or threads, for the
+    in-memory broker) are attached, and more workers may join from other
+    machines via ``ftds worker --broker PATH``.  ``resume=True`` skips
+    jobs the broker has already completed (see
+    :func:`repro.queue.driver.run_sweep`).
     """
     job_list = list(jobs)
     n_jobs = resolve_jobs(n_jobs)
+    if broker is not None:
+        from repro.queue.driver import run_sweep
+
+        results, _ = run_sweep(
+            job_list,
+            broker,
+            resume=resume,
+            local_workers=n_jobs,
+            progress=progress,
+        )
+        return results
     if n_jobs == 1 or len(job_list) <= 1:
         results: list[dict[str, VariantRun]] = []
         for index, job in enumerate(job_list):
@@ -111,16 +145,22 @@ def run_case_jobs(
     done = 0
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = {
-            pool.submit(run_case_job, job): index
+            pool.submit(_timed_case_job, job): index
             for index, job in enumerate(job_list)
         }
         for future in as_completed(futures):
             index = futures[future]
-            slots[index] = future.result()
+            try:
+                slots[index], elapsed = future.result()
+            except Exception as error:
+                raise ExperimentJobError(
+                    f"experiment job failed: {job_list[index].describe()}"
+                ) from error
             done += 1
             if progress is not None:
                 progress(
-                    f"[{done}/{len(job_list)}] {job_list[index].describe()}"
+                    f"[{done}/{len(job_list)}] {job_list[index].describe()} "
+                    f"({elapsed:.1f}s)"
                 )
     # Aggregators consume results positionally: fail loudly rather than
     # silently shifting rows if a slot were ever left unfilled.

@@ -68,8 +68,16 @@ def run_variants(
     variants: tuple[str, ...] = ("NFT", "MXR"),
     time_scale: float = 1.0,
     config: OptimizationConfig | None = None,
+    validate_samples: int | None = None,
 ) -> dict[str, VariantRun]:
-    """Optimize ``case`` under every requested variant."""
+    """Optimize ``case`` under every requested variant.
+
+    With ``validate_samples`` set, every winning schedule is fault-injected
+    through :func:`repro.sim.validate.validate_record` before it is
+    reported (the distributed-queue workers do this so no unvalidated
+    schedule is ever acked back to a driver); a violated schedule raises
+    :class:`~repro.errors.FaultToleranceViolation`.
+    """
     runs: dict[str, VariantRun] = {}
     for variant in variants:
         cfg = config or budget_for(case.n_processes, time_scale)
@@ -77,6 +85,8 @@ def run_variants(
         result: OptimizationResult = optimize(
             case.application, case.architecture, case.faults, variant, cfg
         )
+        if validate_samples is not None:
+            _validate_result(result, validate_samples)
         runs[variant] = VariantRun(
             variant=variant,
             makespan=result.makespan,
@@ -86,3 +96,32 @@ def run_variants(
             record=result.record,
         )
     return runs
+
+
+def _validate_result(result: OptimizationResult, samples: int) -> None:
+    """Fault-inject one optimization winner; raise on any violation."""
+    from repro.errors import FaultToleranceViolation
+    from repro.model.ftgraph import build_ft_graph
+    from repro.sim.validate import validate_record
+
+    implementation = result.implementation
+    ft = build_ft_graph(
+        result.merged,
+        implementation.policies,
+        implementation.mapping,
+        result.faults,
+    )
+    report = validate_record(
+        result.record,
+        result.merged,
+        ft,
+        result.faults,
+        implementation.bus,
+        samples=samples,
+    )
+    if not report.ok:
+        preview = "; ".join(report.violations[:5])
+        raise FaultToleranceViolation(
+            f"{result.variant} schedule failed fault injection "
+            f"({len(report.violations)} violations): {preview}"
+        )

@@ -57,12 +57,17 @@ def table1a(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     config: OptimizationConfig | None = None,
+    broker=None,
+    resume: bool = False,
 ) -> list[Table1Row]:
     """Overhead versus application size (paper Table 1a)."""
     job_list = sweep_jobs(
         dimensions, seeds, ("NFT", "MXR"), mu, time_scale, config, tag="table1a"
     )
-    results = run_case_jobs(job_list, n_jobs=jobs, progress=progress)
+    results = run_case_jobs(
+        job_list, n_jobs=jobs, progress=progress, broker=broker,
+        resume=resume,
+    )
 
     rows: list[Table1Row] = []
     index = 0
@@ -113,6 +118,8 @@ def table1b(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     config: OptimizationConfig | None = None,
+    broker=None,
+    resume: bool = False,
 ) -> list[Table1Row]:
     """Overhead versus number of faults k (paper Table 1b).
 
@@ -137,7 +144,10 @@ def table1b(
         for k in fault_counts
         for seed in seeds
     ]
-    results = run_case_jobs(ref_jobs + mxr_jobs, n_jobs=jobs, progress=progress)
+    results = run_case_jobs(
+        ref_jobs + mxr_jobs, n_jobs=jobs, progress=progress, broker=broker,
+        resume=resume,
+    )
     reference = {
         seed: results[i]["NFT"].makespan for i, seed in enumerate(seeds)
     }
@@ -165,6 +175,8 @@ def table1c(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     config: OptimizationConfig | None = None,
+    broker=None,
+    resume: bool = False,
 ) -> list[Table1Row]:
     """Overhead versus fault duration µ (paper Table 1c)."""
     ref_jobs = _reference_jobs(
@@ -185,7 +197,10 @@ def table1c(
         for mu in fault_durations
         for seed in seeds
     ]
-    results = run_case_jobs(ref_jobs + mxr_jobs, n_jobs=jobs, progress=progress)
+    results = run_case_jobs(
+        ref_jobs + mxr_jobs, n_jobs=jobs, progress=progress, broker=broker,
+        resume=resume,
+    )
     reference = {
         seed: results[i]["NFT"].makespan for i, seed in enumerate(seeds)
     }

@@ -1,4 +1,10 @@
-"""Serialization of models, implementations and schedules (JSON)."""
+"""Serialization of models, implementations, schedules and queue payloads.
+
+:mod:`repro.io.json_codec` persists problems/solutions; the queue wire
+format (jobs, results, fingerprints) lives in :mod:`repro.io.queue_codec`
+and is imported lazily by the queue subsystem — it is not re-exported here
+to keep ``import repro.io`` free of the experiments layer.
+"""
 
 from repro.io.json_codec import (
     application_from_dict,

@@ -83,9 +83,11 @@ class BusMessage:
     * ``"fast"`` — the sender is one of several replicas; the slot follows
       the fault-free finish (Fig. 4b: replica outputs are not delayed), and
       receivers account for the scenarios that invalidate the frame;
-    * ``"guaranteed"`` — second frame of a *re-executed* replica, scheduled
-      after its worst-case finish so the combined policy of Fig. 2c still
-      delivers even when the fast frame was missed.
+    * ``"guaranteed"`` — second frame of a replica, scheduled after its
+      worst-case finish so the group still delivers when fast frames are
+      missed (for re-executed replicas this is the combined policy of
+      Fig. 2c; for pure replicas it is the fallback that keeps the
+      receiver-side worst case sound under correlated upstream delays).
     """
 
     sender: str  # instance id
@@ -244,20 +246,47 @@ def build_ft_graph(
         for dst_iid in receivers:
             ft.inputs[dst_iid] = tuple(groups)
 
-    _collect_bus_messages(graph, ft)
+    _collect_bus_messages(graph, ft, faults.k)
     return ft
 
 
-def _collect_bus_messages(graph: ProcessGraph, ft: FTGraph) -> None:
+def _guaranteed_backed(ft: FTGraph, group: tuple[str, ...], k: int) -> set[str]:
+    """Replicas of ``group`` that must own a guaranteed frame (see below)."""
+    backed = {
+        iid for iid in group if ft.instances[iid].reexecutions > 0
+    }
+    price = sum(ft.instances[iid].kill_cost for iid in backed)
+    for iid in group:
+        if price >= k:
+            break
+        if iid not in backed:
+            backed.add(iid)
+            price += ft.instances[iid].kill_cost
+    return backed
+
+
+def _collect_bus_messages(graph: ProcessGraph, ft: FTGraph, k: int) -> None:
     """Create the broadcast frames every sender instance must transmit.
 
     A frame is needed whenever at least one receiver replica lives on a
     different node.  Sole replicas send one transparently-masked frame;
-    replicas of a replicated process send a fast frame, plus a guaranteed
-    frame when they carry re-executions (see :class:`BusMessage`).
+    replicas of a replicated process send a fast frame, and enough of them
+    additionally send a *guaranteed* frame (slot after the sender's WCF)
+    to keep the receiver-side worst case sound: fast frames of a whole
+    replica group can be invalidated together by one upstream fault that
+    delays every replica past its slot (replicas share predecessors), so
+    the group must retain delay-immune deliveries the adversary cannot
+    also kill.  Backing replicas whose combined kill price reaches ``k``
+    suffices — once the adversary spends ``d >= 1`` faults on delays it
+    has at most ``k - 1`` kills left, and at ``d = 0`` every fast frame
+    is still valid while the group's total price exceeds ``k``.
+    Re-executed replicas carry a guaranteed frame anyway (the combined
+    policy of Fig. 2c), so they are backed for free; 0-re-execution
+    replicas are added in replica order only until the price is met.
     """
     for name in graph:
         group = ft.group_of[name]
+        backed = _guaranteed_backed(ft, group, k)
         for message in graph.out_messages(name):
             receiver_nodes = {
                 ft.instances[iid].node for iid in ft.group_of[message.dst]
@@ -268,7 +297,7 @@ def _collect_bus_messages(graph: ProcessGraph, ft: FTGraph) -> None:
                     continue
                 if len(group) == 1:
                     kinds = ("masked",)
-                elif sender.reexecutions > 0:
+                elif src_iid in backed:
                     kinds = ("fast", "guaranteed")
                 else:
                     kinds = ("fast",)

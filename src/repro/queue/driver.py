@@ -1,0 +1,329 @@
+"""Sweep driver: enqueue jobs, attach workers, stream back ordered results.
+
+The driver is the producer side of the distributed experiment queue.  It
+turns a deterministic job list (the same list the serial and process-pool
+paths consume) into durable queue entries, optionally attaches local
+workers, and collects results **in submission order** so the table/figure
+aggregation code downstream is byte-for-byte shared with the serial path.
+
+Resume semantics
+----------------
+Each job's identity is its submission slot plus canonical JSON payload
+(:func:`repro.io.queue_codec.job_fingerprint`).  Re-invoking the same
+sweep against the same broker with ``resume=True``:
+
+* jobs already ``done`` are *checkpoint hits* — their stored results are
+  decoded instead of re-executed;
+* ``queued``/``leased`` jobs are left alone (in-flight work is kept;
+  leases of crashed workers lapse on their own);
+* ``dead`` jobs get a fresh attempt budget;
+* unknown fingerprints are enqueued.
+
+Without ``resume``, a broker that already holds jobs is refused — mixing
+two different sweeps in one queue file is almost certainly a mistake.
+
+Dead letters never hang the driver: once nothing is queued or in flight,
+remaining dead jobs are reported via :class:`~repro.errors.QueueError`
+with each job's description and final error.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError, QueueError
+from repro.experiments.parallel import CaseJob
+from repro.experiments.runner import VariantRun
+from repro.queue.broker import Broker, DEFAULT_MAX_ATTEMPTS, DONE
+from repro.queue.memory import MemoryBroker
+from repro.queue.sqlite import SqliteBroker
+from repro.queue.worker import (
+    DEFAULT_LEASE_S,
+    DEFAULT_VALIDATE_SAMPLES,
+    Worker,
+)
+
+
+@dataclass
+class SweepStats:
+    """Bookkeeping of one driven sweep (checkpoint hits back resume tests)."""
+
+    total: int = 0
+    enqueued: int = 0
+    checkpoint_hits: int = 0  # jobs already done when the sweep was submitted
+    reset_dead: int = 0  # dead jobs granted a fresh budget on resume
+    completed: int = 0  # results streamed back this invocation
+    dead: int = 0
+
+    def summary(self) -> str:
+        parts = [f"{self.completed}/{self.total} jobs completed"]
+        if self.checkpoint_hits:
+            parts.append(f"{self.checkpoint_hits} from checkpoint")
+        if self.reset_dead:
+            parts.append(f"{self.reset_dead} dead jobs retried")
+        if self.dead:
+            parts.append(f"{self.dead} dead-lettered")
+        return ", ".join(parts)
+
+
+@dataclass
+class SweepPlan:
+    """The enqueue outcome: per-slot identities plus submission stats."""
+
+    jobs: list[CaseJob]
+    fingerprints: list[str]
+    stats: SweepStats = field(default_factory=SweepStats)
+
+
+def enqueue_sweep(
+    jobs: Sequence[CaseJob],
+    broker: Broker,
+    resume: bool = False,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+) -> SweepPlan:
+    """Submit ``jobs`` idempotently; see the module docstring for resume."""
+    from repro.io.queue_codec import encode_job, job_fingerprint
+
+    job_list = list(jobs)
+    if not resume and broker.pending().total > 0:
+        raise ConfigurationError(
+            "broker already holds jobs; pass resume=True (--resume) to "
+            "continue that sweep, or point at a fresh broker path"
+        )
+    plan = SweepPlan(jobs=job_list, fingerprints=[])
+    plan.stats.total = len(job_list)
+    payloads = [encode_job(job) for job in job_list]
+    plan.fingerprints = [
+        job_fingerprint(index, payload)
+        for index, payload in enumerate(payloads)
+    ]
+    known = broker.states()
+    orphans = set(known) - set(plan.fingerprints)
+    if orphans:
+        # Resuming with changed parameters produces all-new fingerprints:
+        # without this check (done BEFORE any enqueue mutates the broker)
+        # the old sweep's jobs would silently keep running — and keep
+        # being paid for — alongside the new ones.
+        raise ConfigurationError(
+            f"broker holds {len(orphans)} job(s) that are not part of this "
+            "sweep; a resumed sweep must use the original parameters — "
+            "point changed sweeps at a fresh broker path"
+        )
+    if resume:
+        plan.stats.reset_dead = broker.reset_dead()
+    for fingerprint, payload in zip(plan.fingerprints, payloads):
+        state = known.get(fingerprint)
+        if state is None:
+            broker.enqueue(fingerprint, payload, max_attempts)
+            plan.stats.enqueued += 1
+        elif state == DONE:
+            plan.stats.checkpoint_hits += 1
+    return plan
+
+
+def collect_results(
+    plan: SweepPlan,
+    broker: Broker,
+    progress: Callable[[str], None] | None = None,
+    poll_interval_s: float = 0.1,
+    timeout_s: float | None = None,
+    liveness: Callable[[], bool] | None = None,
+) -> tuple[list[dict[str, VariantRun]], SweepStats]:
+    """Wait for every slot, decoding results in submission order.
+
+    ``liveness`` (when given) is polled each round; returning False means
+    "no worker can make further progress" and raises instead of waiting
+    forever — the driver passes a check over its locally spawned workers.
+    """
+    from repro.io.queue_codec import decode_result
+
+    stats = plan.stats
+    total = len(plan.fingerprints)
+    results: list[dict[str, VariantRun]] = []
+    deadline = None if timeout_s is None else time.monotonic() + timeout_s
+    cursor = 0
+    while cursor < total:
+        states = broker.states()
+        while cursor < total and states.get(plan.fingerprints[cursor]) == DONE:
+            text = broker.result(plan.fingerprints[cursor])
+            runs, elapsed = decode_result(text)
+            results.append(runs)
+            cursor += 1
+            stats.completed += 1
+            if progress is not None:
+                progress(
+                    f"[{cursor}/{total}] {plan.jobs[cursor - 1].describe()} "
+                    f"({elapsed:.1f}s)"
+                )
+        if cursor >= total:
+            break
+        counts = broker.pending()
+        if counts.unfinished == 0:
+            # The final ack may have landed between the states() snapshot
+            # and this pending() read; only an actual dead letter is
+            # terminal — otherwise re-poll and stream the fresh results.
+            if broker.dead_letters():
+                _raise_dead_letters(plan, broker, stats)
+            continue
+        if liveness is not None and not liveness():
+            raise QueueError(
+                f"all local workers exited with {total - cursor} jobs "
+                "unfinished and no remote workers attached"
+            )
+        if deadline is not None and time.monotonic() > deadline:
+            raise QueueError(
+                f"sweep timed out with {total - cursor} of {total} jobs "
+                "unfinished"
+            )
+        time.sleep(poll_interval_s)
+    return results, stats
+
+
+def run_sweep(
+    jobs: Sequence[CaseJob],
+    broker: Broker,
+    resume: bool = False,
+    local_workers: int = 0,
+    progress: Callable[[str], None] | None = None,
+    lease_s: float = DEFAULT_LEASE_S,
+    validate_samples: int | None = DEFAULT_VALIDATE_SAMPLES,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    poll_interval_s: float = 0.1,
+    timeout_s: float | None = None,
+) -> tuple[list[dict[str, VariantRun]], SweepStats]:
+    """Drive one full sweep through ``broker`` and return ordered results.
+
+    ``local_workers`` consumer loops are attached for the duration of the
+    call — OS processes for a :class:`SqliteBroker` (the same entry point
+    ``ftds worker`` uses on other machines), daemon threads for a
+    :class:`MemoryBroker`.  With ``local_workers=0`` the call only
+    enqueues and waits, relying entirely on externally attached workers.
+    """
+    plan = enqueue_sweep(jobs, broker, resume=resume, max_attempts=max_attempts)
+    if progress is not None and plan.stats.checkpoint_hits:
+        progress(
+            f"resume: {plan.stats.checkpoint_hits}/{plan.stats.total} jobs "
+            "already complete (checkpoint hits)"
+        )
+    workers = _spawn_local_workers(
+        broker, local_workers, lease_s, validate_samples
+    )
+    try:
+        liveness = None
+        if workers:
+            liveness = lambda: any(w.is_alive() for w in workers)
+        results, stats = collect_results(
+            plan,
+            broker,
+            progress=progress,
+            poll_interval_s=poll_interval_s,
+            timeout_s=timeout_s,
+            liveness=liveness,
+        )
+    except BaseException:
+        # The caller asked to stop (timeout, dead letters, interrupt):
+        # don't block on drain workers finishing the rest of the queue —
+        # they are daemons and die with the process.
+        for worker in workers:
+            worker.join(timeout=1.0)
+        raise
+    for worker in workers:
+        # Every slot is acked, so drain workers exit promptly.
+        worker.join(timeout=lease_s + 30.0)
+    return results, stats
+
+
+# -- local worker attachment --------------------------------------------------
+
+def _sqlite_worker_main(
+    path: str, lease_s: float, validate_samples: int | None, suffix: str
+) -> None:
+    """Entry point of one spawned local worker process."""
+    from repro.queue.worker import default_worker_id
+
+    broker = SqliteBroker(path)
+    try:
+        Worker(
+            broker,
+            worker_id=default_worker_id(suffix),
+            lease_s=lease_s,
+            validate_samples=validate_samples,
+            poll_interval_s=0.05,
+        ).run(drain=True)
+    finally:
+        broker.close()
+
+
+def _spawn_local_workers(
+    broker: Broker,
+    count: int,
+    lease_s: float,
+    validate_samples: int | None,
+) -> list:
+    if count <= 0:
+        return []
+    if isinstance(broker, SqliteBroker):
+        # "spawn" keeps the parent's live SQLite connection out of the
+        # children; each worker process opens the file itself, exactly as
+        # a remote `ftds worker --broker PATH` would.
+        context = multiprocessing.get_context("spawn")
+        processes = [
+            context.Process(
+                target=_sqlite_worker_main,
+                args=(broker.path, lease_s, validate_samples, str(i)),
+                daemon=True,
+            )
+            for i in range(count)
+        ]
+        for process in processes:
+            process.start()
+        return processes
+    if isinstance(broker, MemoryBroker):
+        threads = [
+            threading.Thread(
+                target=Worker(
+                    broker,
+                    worker_id=f"thread-{i}",
+                    lease_s=lease_s,
+                    validate_samples=validate_samples,
+                    poll_interval_s=0.01,
+                ).run,
+                kwargs={"drain": True},
+                daemon=True,
+            )
+            for i in range(count)
+        ]
+        for thread in threads:
+            thread.start()
+        return threads
+    raise ConfigurationError(
+        f"cannot attach local workers to {type(broker).__name__}; "
+        "run workers against it externally and call with local_workers=0"
+    )
+
+
+def _raise_dead_letters(
+    plan: SweepPlan, broker: Broker, stats: SweepStats
+) -> None:
+    """Report dead-lettered jobs by description instead of hanging."""
+    from repro.io.queue_codec import decode_job
+
+    letters = broker.dead_letters()
+    stats.dead = len(letters)
+    details = []
+    for letter in letters[:10]:
+        try:
+            label = decode_job(letter.payload).describe()
+        except QueueError:
+            label = letter.fingerprint[:12]
+        details.append(
+            f"{label} (attempts {letter.attempts}): {letter.error}"
+        )
+    raise QueueError(
+        f"sweep dead-lettered {len(letters)} job(s) after bounded retries: "
+        + "; ".join(details)
+    )

@@ -1,0 +1,222 @@
+"""Durable SQLite broker: crash-safe job queue over one shared file.
+
+One ``jobs`` table in a WAL-journaled SQLite database implements the
+:class:`~repro.queue.broker.Broker` contract for every worker process that
+can reach the file — N workers on M machines via a shared filesystem path.
+Durability properties:
+
+* **WAL journal** — writers never block readers; an acked result is on
+  disk before :meth:`ack` returns, so a driver crash loses nothing.
+* **Lease timeouts** — a worker that dies mid-job never acks; the lease
+  row carries an absolute wall-clock expiry (``time.time``, comparable
+  across machines with sane clocks) and any later :meth:`lease` call
+  sweeps expired deliveries back into the queue.
+* **Bounded retries** — each delivery increments ``attempts``; a job
+  whose attempts reach its ``max_attempts`` is parked in the ``dead``
+  state with its last error instead of poisoning the queue forever.
+
+All mutations run inside ``BEGIN IMMEDIATE`` transactions, so concurrent
+workers leasing from the same file never double-deliver an unexpired job.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+from pathlib import Path
+
+from repro.errors import QueueError
+from repro.queue.broker import (
+    DEAD,
+    DEFAULT_MAX_ATTEMPTS,
+    DONE,
+    LEASED,
+    QUEUED,
+    DeadLetter,
+    LeasedJob,
+    QueueCounts,
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    fingerprint TEXT NOT NULL UNIQUE,
+    payload TEXT NOT NULL,
+    state TEXT NOT NULL DEFAULT 'queued',
+    attempts INTEGER NOT NULL DEFAULT 0,
+    max_attempts INTEGER NOT NULL,
+    worker_id TEXT NOT NULL DEFAULT '',
+    lease_expires REAL NOT NULL DEFAULT 0,
+    result TEXT,
+    error TEXT NOT NULL DEFAULT ''
+);
+CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, id);
+"""
+
+
+class SqliteBroker:
+    """Queue contract over one SQLite file (stdlib ``sqlite3`` only)."""
+
+    def __init__(self, path: str | Path, timeout_s: float = 30.0) -> None:
+        self.path = str(path)
+        self._conn = sqlite3.connect(
+            self.path, timeout=timeout_s, isolation_level=None
+        )
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(_SCHEMA)
+
+    # -- producer side -----------------------------------------------------
+
+    def enqueue(
+        self,
+        fingerprint: str,
+        payload: str,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> bool:
+        cursor = self._conn.execute(
+            "INSERT OR IGNORE INTO jobs (fingerprint, payload, max_attempts) "
+            "VALUES (?, ?, ?)",
+            (fingerprint, payload, max_attempts),
+        )
+        return cursor.rowcount == 1
+
+    # -- consumer side -----------------------------------------------------
+
+    def lease(self, worker_id: str, lease_s: float) -> LeasedJob | None:
+        now = time.time()
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            self._expire(now)
+            row = self._conn.execute(
+                "SELECT fingerprint, payload, attempts FROM jobs "
+                "WHERE state = ? ORDER BY id LIMIT 1",
+                (QUEUED,),
+            ).fetchone()
+            if row is None:
+                self._conn.execute("COMMIT")
+                return None
+            fingerprint, payload, attempts = row
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, attempts = ?, worker_id = ?, "
+                "lease_expires = ? WHERE fingerprint = ?",
+                (LEASED, attempts + 1, worker_id, now + lease_s, fingerprint),
+            )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return LeasedJob(
+            fingerprint=fingerprint,
+            payload=payload,
+            attempt=attempts + 1,
+            worker_id=worker_id,
+        )
+
+    def ack(self, fingerprint: str, result: str) -> None:
+        cursor = self._conn.execute(
+            "UPDATE jobs SET state = ?, result = ?, error = '' "
+            "WHERE fingerprint = ?",
+            (DONE, result, fingerprint),
+        )
+        if cursor.rowcount == 0:
+            raise QueueError(f"unknown job fingerprint {fingerprint!r}")
+
+    def nack(self, fingerprint: str, error: str) -> None:
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = self._conn.execute(
+                "SELECT state, attempts, max_attempts FROM jobs "
+                "WHERE fingerprint = ?",
+                (fingerprint,),
+            ).fetchone()
+            if row is None:
+                raise QueueError(f"unknown job fingerprint {fingerprint!r}")
+            state, attempts, max_attempts = row
+            if state != DONE:  # a twin delivery may already have acked
+                next_state = DEAD if attempts >= max_attempts else QUEUED
+                self._conn.execute(
+                    "UPDATE jobs SET state = ?, error = ? WHERE fingerprint = ?",
+                    (next_state, error, fingerprint),
+                )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+
+    # -- observation -------------------------------------------------------
+
+    def pending(self) -> QueueCounts:
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            self._expire(time.time())
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+            ).fetchall()
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        counts = dict(rows)
+        return QueueCounts(
+            queued=counts.get(QUEUED, 0),
+            leased=counts.get(LEASED, 0),
+            done=counts.get(DONE, 0),
+            dead=counts.get(DEAD, 0),
+        )
+
+    def state(self, fingerprint: str) -> str | None:
+        row = self._conn.execute(
+            "SELECT state FROM jobs WHERE fingerprint = ?", (fingerprint,)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def states(self) -> dict[str, str]:
+        rows = self._conn.execute("SELECT fingerprint, state FROM jobs")
+        return dict(rows.fetchall())
+
+    def result(self, fingerprint: str) -> str | None:
+        row = self._conn.execute(
+            "SELECT result FROM jobs WHERE fingerprint = ?", (fingerprint,)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def attempts(self, fingerprint: str) -> int:
+        row = self._conn.execute(
+            "SELECT attempts FROM jobs WHERE fingerprint = ?", (fingerprint,)
+        ).fetchone()
+        if row is None:
+            raise QueueError(f"unknown job fingerprint {fingerprint!r}")
+        return row[0]
+
+    def dead_letters(self) -> list[DeadLetter]:
+        rows = self._conn.execute(
+            "SELECT fingerprint, payload, attempts, error FROM jobs "
+            "WHERE state = ? ORDER BY id",
+            (DEAD,),
+        ).fetchall()
+        return [DeadLetter(*row) for row in rows]
+
+    def reset_dead(self) -> int:
+        cursor = self._conn.execute(
+            "UPDATE jobs SET state = ?, attempts = 0 WHERE state = ?",
+            (QUEUED, DEAD),
+        )
+        return cursor.rowcount
+
+    def close(self) -> None:
+        self._conn.close()
+
+    # -- internals ---------------------------------------------------------
+
+    def _expire(self, now: float) -> None:
+        """Sweep lapsed leases back to queued/dead (inside a transaction)."""
+        self._conn.execute(
+            "UPDATE jobs SET "
+            "  state = CASE WHEN attempts >= max_attempts "
+            f"    THEN '{DEAD}' ELSE '{QUEUED}' END, "
+            "  error = 'lease expired after delivery ' || attempts "
+            "    || ' (worker ' || worker_id || ')' "
+            "WHERE state = ? AND lease_expires < ?",
+            (LEASED, now),
+        )

@@ -129,6 +129,12 @@ class PlacementResult:
 
     finish_row: tuple[float, ...]  # F(i, q): worst finish when it completes
     tail_row: tuple[float, ...]  # chain tail incl. the terminally-killed case
+    #: Worst finish under q faults when NONE of them hits this instance's
+    #: own recoveries (base release/chain delay + one clean execution).
+    #: Receivers price fast-frame invalidation with it: delays through
+    #: this row can be shared with sibling replicas (common upstream
+    #: faults), while own-recovery delays are disjoint per sender.
+    no_recovery_row: tuple[float, ...] = ()
     dominant: str = "input"  # what bounded F(i, k): "input" or "node"
     dominant_budget: int = 0  # the b = k - t at which the worst case occurred
 
@@ -236,6 +242,7 @@ class WorstCaseAnalyzer:
         result = PlacementResult(
             finish_row=tuple(finish_row),
             tail_row=tuple(tail_row),
+            no_recovery_row=tuple(base + wcet for base in base_row),
             dominant=dominant,
             dominant_budget=dominant_budget,
         )

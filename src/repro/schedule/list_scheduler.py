@@ -105,14 +105,14 @@ def build_schedule_record(
 
     builder = RecordBuilder()
     root_finish: dict[str, float] = {}
-    finish_rows: dict[str, tuple[float, ...]] = {}
+    no_recovery_rows: dict[str, tuple[float, ...]] = {}
 
     placed_count = 0
     while ready:
         _, iid = heapq.heappop(ready)
         instance = ft.instances[iid]
         rel_row, rel_sources = _release_row(
-            ft, iid, k, root_finish, finish_rows, bus_scheduler
+            ft, iid, faults, root_finish, no_recovery_rows, bus_scheduler
         )
 
         node = instance.node
@@ -144,7 +144,7 @@ def build_schedule_record(
             binding=binding,
         )
         root_finish[iid] = result.root_finish
-        finish_rows[iid] = result.finish_row
+        no_recovery_rows[iid] = result.no_recovery_row
         placed_count += 1
 
         outgoing = ft.outgoing_bus_messages(iid)
@@ -194,9 +194,9 @@ def build_schedule_record(
 def _release_row(
     ft: FTGraph,
     iid: str,
-    k: int,
+    faults: FaultModel,
     root_finish: dict[str, float],
-    finish_rows: dict[str, tuple[float, ...]],
+    no_recovery_rows: dict[str, tuple[float, ...]],
     bus_scheduler: BusScheduler,
 ) -> tuple[list[float], list[str | None]]:
     """Guaranteed release per adversary budget, plus per-budget sources.
@@ -208,13 +208,41 @@ def _release_row(
     budget ``c`` — the critical-path extraction follows these links — or
     ``None`` when the release time itself dominates.
 
-    Every input group contributes one *entry list*: per sender replica a
-    local finish, a masked arrival, or a fast arrival (plus, for re-executed
-    replicas, the guaranteed second frame).  Each entry carries the marginal
-    number of faults the adversary must spend to invalidate it; the greedy
-    earliest-first kill of :func:`group_survivor_indices` then yields the
-    surviving entry — and hence the guaranteed arrival — per budget.
+    Adversary model (shared upstream delays + per-sender faults)
+    ------------------------------------------------------------
+    A sender replica's frames can be invalidated three ways, and their
+    costs compose differently:
+
+    * **shared delay** — faults that are *not* on the sender itself (its
+      inputs, its node chain) push the sender's no-recovery row past its
+      fast slot's start.  Such delays *correlate*: replicas of a group
+      share predecessors, so one upstream fault may delay every replica
+      past its slot simultaneously.  The model spends a single shared
+      budget ``d`` whose effect applies to **all** senders at once.
+    * **own recoveries** — ``t`` failed attempts on the sender delay it by
+      ``t * (recovery + mu)`` on top of the shared delay.  Faults on
+      distinct instances are disjoint, so these are priced per sender,
+      like (partial) kills.
+    * **kill** — ``kill_cost`` faults on the sender terminate it, removing
+      *all* its frames; the guaranteed twin therefore costs only the
+      *remaining* kills after the fast frame was silenced.
+
+    ``rel_row[c]`` maximizes over every split ``c = d + (c - d)``: given
+    ``d``, each fast frame's silencing price is the cheaper of the own
+    recoveries still needed (0 if the shared delay alone misses the slot)
+    and the outright kill; guaranteed/masked slots lie after the sender's
+    WCF and local inputs are covered by the node DP, so only kills remove
+    them.  The greedy earliest-first argument of
+    :func:`group_survivor_indices` then spends the remaining ``c - d``
+    faults.  Enough replicas carry a guaranteed twin that their combined
+    kill price out-lasts every split's kill budget
+    (``ftgraph._guaranteed_backed``).  Soundness: any concrete <= c fault
+    scenario splits into faults on group senders (covered by the per-
+    sender prices) and faults elsewhere (covered by some ``d``); budget 0
+    reproduces the fault-free fast arrivals exactly.
     """
+    k = faults.k
+    mu = faults.mu
     instances = ft.instances
     instance = instances[iid]
     node = instance.node
@@ -233,7 +261,14 @@ def _release_row(
     sources: list[str | None] = [None] * (k + 1)
 
     for group in ft.inputs_of(iid):
-        arrivals: list[tuple[float, int, str]] = []
+        # Entries whose price does not depend on the shared delay budget:
+        # local finishes and masked frames fall only with their sender.
+        immune: list[tuple[float, int, str]] = []
+        # Fast senders: (slot_start, slot_end, guaranteed_slot_end | None,
+        # no-recovery row, recovery step, reexecutions, kill_cost, src).
+        fast_senders: list[
+            tuple[float, float, float | None, tuple[float, ...], float, int, int, str]
+        ] = []
         replicated = len(group.sources) > 1
         message_name = group.message.name
         for src_iid in group.sources:
@@ -242,43 +277,82 @@ def _release_row(
             if src.node == node:
                 # Local input: delays of the local chain are handled by the
                 # node DP, so only the terminal kill removes this entry.
-                arrivals.append((root_finish[src_iid], kill_cost, src_iid))
-                continue
-            descriptor = descriptor_for(f"{message_name}[{src_iid}]")
-            if not replicated:
+                immune.append((root_finish[src_iid], kill_cost, src_iid))
+            elif not replicated:
                 # Masked frame: slot lies after the sender's WCF, so within
                 # budget k only a terminal kill (impossible for a sole
                 # replica of a valid policy) removes it.
-                arrivals.append((descriptor.slot_end, kill_cost, src_iid))
-                continue
-            # Fast frame: invalid if the sender misses the slot start. The
-            # cheapest way is q* faults delaying the sender (its finish row
-            # exceeds the slot start) or an outright kill, whichever is
-            # cheaper.  A fault on the sender both delays and counts toward
-            # the kill, so the guaranteed frame costs the *remaining* kills.
-            row = finish_rows[src_iid]
-            threshold = descriptor.slot_start + 1e-9
-            q_star = k + 1
-            for q in range(k + 1):
-                if row[q] > threshold:
-                    q_star = q
-                    break
-            fast_cost = kill_cost if kill_cost < q_star else q_star
-            arrivals.append((descriptor.slot_end, fast_cost, src_iid))
-            if src.reexecutions > 0 and fast_cost < kill_cost:
-                guaranteed = descriptor_for(f"{message_name}[{src_iid}]#g")
-                arrivals.append(
-                    (guaranteed.slot_end, kill_cost - fast_cost, src_iid)
+                descriptor = descriptor_for(f"{message_name}[{src_iid}]")
+                immune.append((descriptor.slot_end, kill_cost, src_iid))
+            else:
+                fast = descriptor_for(f"{message_name}[{src_iid}]")
+                guaranteed = medl_by_id.get(f"{message_name}[{src_iid}]#g")
+                fast_senders.append(
+                    (
+                        fast.slot_start,
+                        fast.slot_end,
+                        None if guaranteed is None else guaranteed.slot_end,
+                        no_recovery_rows[src_iid],
+                        src.recovery_unit + mu,
+                        src.reexecutions,
+                        kill_cost,
+                        src_iid,
+                    )
                 )
-        arrivals.sort()
-        # Survivors are tracked by *index*: on arrival-time ties a value
-        # lookup would name the first tied sender, which may be a replica
-        # the adversary already killed, corrupting critical-path extraction.
-        for c, index in enumerate(group_survivor_indices(arrivals, k)):
-            guaranteed_arrival = arrivals[index][0]
-            if guaranteed_arrival > rel_row[c]:
-                rel_row[c] = guaranteed_arrival
-                sources[c] = arrivals[index][2]
+
+        # Per sender, the fast frame's silencing price at every shared
+        # budget d: own recoveries still needed to miss the slot on top of
+        # the shared delay (beyond reexec only a kill silences).  The
+        # price is non-increasing in d; a branch whose prices all equal
+        # the previous d's is dominated by it (same entries, smaller kill
+        # budget => an earlier survivor), so only the breakpoints where
+        # some price drops need evaluating.
+        fast_costs: list[list[int]] = []
+        breakpoints = {0}
+        for (
+            slot_start, _, _, row, step, reexec, kill_cost, _,
+        ) in fast_senders:
+            threshold = slot_start + 1e-9
+            costs = []
+            for d in range(k + 1):
+                fast_cost = kill_cost
+                delayed = row[d]
+                for t in range(reexec + 1):
+                    if delayed > threshold:
+                        fast_cost = t if t < kill_cost else kill_cost
+                        break
+                    delayed += step
+                costs.append(fast_cost)
+                if d and fast_cost != costs[d - 1]:
+                    breakpoints.add(d)
+            fast_costs.append(costs)
+
+        for d in sorted(breakpoints):
+            entries = list(immune)
+            for costs, (
+                _, slot_end, guaranteed_end, _, _, _, kill_cost, src_iid,
+            ) in zip(fast_costs, fast_senders):
+                fast_cost = costs[d]
+                if fast_cost > 0:
+                    entries.append((slot_end, fast_cost, src_iid))
+                if guaranteed_end is not None:
+                    # A kill removes both frames: after the fast one was
+                    # silenced, the twin costs the remaining kills (0 when
+                    # silencing already was a full kill).
+                    entries.append(
+                        (guaranteed_end, kill_cost - fast_cost, src_iid)
+                    )
+            # Survivors are tracked by *index*: on arrival-time ties a
+            # value lookup would name the first tied sender, which may be
+            # a replica the adversary already killed, corrupting
+            # critical-path extraction.
+            entries.sort()
+            indices = group_survivor_indices(entries, k - d)
+            for c in range(d, k + 1):
+                survivor = entries[indices[c - d]]
+                if survivor[0] > rel_row[c]:
+                    rel_row[c] = survivor[0]
+                    sources[c] = survivor[2]
     return rel_row, sources
 
 

@@ -161,6 +161,79 @@ class ScheduleRecord:
         return path
 
 
+    # -- stable JSON round-trip -------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        """A JSON-safe dict whose round-trip is byte-stable.
+
+        Tuples flatten to lists and ``None`` deadlines to ``null``; every
+        leaf is a str/int/float that the :mod:`json` module reproduces
+        exactly (float repr round-trips), so canonical re-encoding of
+        :meth:`from_json_dict`'s output is byte-identical.  This is the
+        wire format of the distributed experiment queue — records cross
+        machine boundaries without pickle.
+        """
+        return {
+            "version": RECORD_FORMAT_VERSION,
+            "processes": list(self.processes),
+            "nodes": list(self.nodes),
+            "instance_ids": list(self.instance_ids),
+            "instance_process": list(self.instance_process),
+            "instance_node": list(self.instance_node),
+            "root_start": list(self.root_start),
+            "root_finish": list(self.root_finish),
+            "wcf": list(self.wcf),
+            "finish_rows": [list(row) for row in self.finish_rows],
+            "bindings": [list(binding) for binding in self.bindings],
+            "node_chains": [list(chain) for chain in self.node_chains],
+            "process_replicas": [list(r) for r in self.process_replicas],
+            "completions": list(self.completions),
+            "deadlines": list(self.deadlines),
+            "medl": [list(descriptor) for descriptor in self.medl],
+            "k": self.k,
+            "mu": self.mu,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "ScheduleRecord":
+        """Inverse of :meth:`to_json_dict` (strict on the format version)."""
+        version = data.get("version", RECORD_FORMAT_VERSION)
+        if version != RECORD_FORMAT_VERSION:
+            raise SchedulingError(
+                f"unsupported record format version {version} "
+                f"(expected {RECORD_FORMAT_VERSION})"
+            )
+        return cls(
+            processes=tuple(data["processes"]),
+            nodes=tuple(data["nodes"]),
+            instance_ids=tuple(data["instance_ids"]),
+            instance_process=tuple(data["instance_process"]),
+            instance_node=tuple(data["instance_node"]),
+            root_start=tuple(data["root_start"]),
+            root_finish=tuple(data["root_finish"]),
+            wcf=tuple(data["wcf"]),
+            finish_rows=tuple(tuple(row) for row in data["finish_rows"]),
+            bindings=tuple(
+                (binding[0], binding[1], binding[2])
+                for binding in data["bindings"]
+            ),
+            node_chains=tuple(tuple(chain) for chain in data["node_chains"]),
+            process_replicas=tuple(tuple(r) for r in data["process_replicas"]),
+            completions=tuple(data["completions"]),
+            deadlines=tuple(data["deadlines"]),
+            medl=tuple(
+                (d[0], d[1], d[2], d[3], d[4], d[5], d[6])
+                for d in data["medl"]
+            ),
+            k=data["k"],
+            mu=data["mu"],
+        )
+
+
+#: Version tag of the record wire format (bump on layout changes).
+RECORD_FORMAT_VERSION = 1
+
+
 class RecordBuilder:
     """Incremental construction of a :class:`ScheduleRecord`.
 

@@ -2,10 +2,11 @@
 
 import os
 import pickle
+import re
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ExperimentJobError
 from repro.experiments.figure10 import figure10
 from repro.experiments.parallel import (
     CaseJob,
@@ -86,6 +87,29 @@ class TestResolveJobs:
         lines: list[str] = []
         run_case_jobs(jobs, n_jobs=2, progress=lines.append)
         assert len(lines) == 2
+
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_progress_includes_per_job_elapsed_time(self, n_jobs):
+        """Serial and pool paths both report each job's wall-clock."""
+        jobs = [
+            CaseJob(8, 2, 2, 5.0, seed, ("NFT",), config=TINY)
+            for seed in (0, 1)
+        ]
+        lines: list[str] = []
+        run_case_jobs(jobs, n_jobs=n_jobs, progress=lines.append)
+        assert len(lines) == 2
+        for line in lines:
+            assert re.search(r"\(\d+\.\ds\)$", line), line
+
+    def test_worker_exception_carries_job_description(self):
+        """A dying job names its (case, seed), not just a bare traceback."""
+        jobs = [
+            CaseJob(8, 2, 2, 5.0, 0, ("NFT",), config=TINY, label="good job"),
+            CaseJob(0, 2, 2, 5.0, 1, ("NFT",), config=TINY, label="doomed job"),
+        ]
+        with pytest.raises(ExperimentJobError, match="doomed job") as excinfo:
+            run_case_jobs(jobs, n_jobs=2)
+        assert excinfo.value.__cause__ is not None  # original error chained
 
     def test_describe_defaults_and_label(self):
         job = CaseJob(8, 2, 2, 5.0, 4, ("NFT", "MXR"))

@@ -70,15 +70,35 @@ def test_bus_messages_masked_for_sole_replica():
     assert out[0].id == "m_A_B[A:r0]"
 
 
-def test_bus_messages_fast_for_plain_replicas():
+def test_plain_replicas_backed_by_guaranteed_frames_up_to_k():
+    """One upstream fault can delay a whole replica group past its fast
+    slots simultaneously, so enough replicas must own a guaranteed
+    (post-WCF) frame that their combined kill price reaches k — without
+    that backing a group of pure replicas has no delivery the worst-case
+    analysis may rely on.  Replicas beyond the required price stay
+    fast-only (no wasted bus slots)."""
     merged = _merged_chain()
     policies = PolicyAssignment(
         {"A": Policy.replication(2), "B": Policy.reexecution(2)}
     )
     mapping = ReplicaMapping({"A": ("N1", "N2", "N1"), "B": ("N2",)})
     ft = build_ft_graph(merged, policies, mapping, FAULTS)
-    kinds = {m.id: m.kind for i in ft.replicas("A") for m in ft.outgoing_bus_messages(i)}
-    assert set(kinds.values()) == {"fast"}
+    senders = [i for i in ft.replicas("A") if ft.outgoing_bus_messages(i)]
+    assert senders  # co-located replicas (A:r1 on B's node) send nothing
+    for i in senders:
+        assert "fast" in {m.kind for m in ft.outgoing_bus_messages(i)}
+    # Every receiver must see delay-immune deliveries whose combined kill
+    # price reaches k: a sender co-located with the receiver is immune via
+    # its local finish, a remote one via its guaranteed frame.
+    for receiver in ft.replicas("B"):
+        receiver_node = ft.instances[receiver].node
+        immune_price = sum(
+            ft.instances[i].kill_cost
+            for i in ft.replicas("A")
+            if ft.instances[i].node == receiver_node
+            or "guaranteed" in {m.kind for m in ft.outgoing_bus_messages(i)}
+        )
+        assert immune_price >= FAULTS.k
 
 
 def test_bus_messages_fast_plus_guaranteed_for_reexecuted_replicas():

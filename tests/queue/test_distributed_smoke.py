@@ -1,0 +1,124 @@
+"""CI smoke: a mini Table 1a sweep through the SQLite broker.
+
+Two scenarios the process-pool path cannot express:
+
+* N independent OS processes consuming one durable queue file produce
+  tables identical to the serial path;
+* killing a worker mid-sweep and re-invoking with ``--resume`` completes
+  the sweep without re-executing acked jobs (checkpoint hits asserted).
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.experiments.parallel import run_case_jobs, sweep_jobs
+from repro.experiments.table1 import table1a
+from repro.opt.strategy import OptimizationConfig
+from repro.queue.driver import enqueue_sweep, run_sweep
+from repro.queue.sqlite import SqliteBroker
+from repro.queue.worker import Worker
+
+#: No wall-clock limit: queue and serial searches are bit-identical.
+TINY = OptimizationConfig(
+    minimize=True, rounds=1, greedy_max_iterations=3, tabu_max_iterations=2
+)
+TINY_DIMS = ((8, 2, 2), (10, 2, 2))
+
+def test_table1a_through_sqlite_broker_matches_serial(tmp_path):
+    serial = table1a(seeds=(0,), dimensions=TINY_DIMS, config=TINY, jobs=1)
+    broker = SqliteBroker(tmp_path / "queue.db")
+    try:
+        queued = table1a(
+            seeds=(0,), dimensions=TINY_DIMS, config=TINY, jobs=2,
+            broker=broker,
+        )
+    finally:
+        broker.close()
+    assert queued == serial
+
+
+def test_killed_worker_then_resume_completes_without_rerunning(tmp_path):
+    path = str(tmp_path / "queue.db")
+    jobs = sweep_jobs(TINY_DIMS, (0, 1), ("NFT",), 5.0, 1.0, TINY, tag="smoke")
+    assert len(jobs) == 4
+
+    broker = SqliteBroker(path)
+    plan = enqueue_sweep(jobs, broker)
+
+    # A worker acks exactly two jobs, leases a third and dies mid-job
+    # without acking, nacking or cleaning up — a machine loss.  The fork
+    # start method lets the victim live in this test instead of prod code.
+    def victim_main() -> None:
+        import os
+
+        victim_broker = SqliteBroker(path)
+        Worker(
+            victim_broker, worker_id="victim", lease_s=8.0,
+            poll_interval_s=0.01,
+        ).run(max_jobs=2)
+        assert victim_broker.lease("victim", 8.0) is not None
+        os._exit(1)  # hard crash while holding the lease
+
+    context = multiprocessing.get_context("fork")
+    victim = context.Process(target=victim_main, daemon=True)
+    victim.start()
+    victim.join(timeout=120.0)
+    assert victim.exitcode == 1
+
+    acked_before = broker.pending().done
+    assert acked_before == 2
+    assert broker.pending().leased == 1  # the orphaned lease
+    done_fingerprints = [
+        fp for fp in plan.fingerprints if broker.state(fp) == "done"
+    ]
+    broker.close()
+
+    # Resume with fresh workers: completed slots are checkpoint hits, any
+    # lease the victim still held lapses (8 s) and is redelivered.
+    resumed = SqliteBroker(path)
+    try:
+        results, stats = run_sweep(
+            jobs, resumed, resume=True, local_workers=2, lease_s=30.0,
+            timeout_s=240.0,
+        )
+        assert stats.checkpoint_hits == acked_before
+        assert stats.completed == len(jobs)
+        # Acked jobs were never re-executed: still exactly one delivery.
+        for fingerprint in done_fingerprints:
+            assert resumed.attempts(fingerprint) == 1
+    finally:
+        resumed.close()
+
+    serial = run_case_jobs(jobs, n_jobs=1)
+    assert [r["NFT"].makespan for r in results] == [
+        r["NFT"].makespan for r in serial
+    ]
+    assert [r["NFT"].record for r in results] == [
+        r["NFT"].record for r in serial
+    ]
+
+
+def test_cli_worker_drains_a_prepared_broker(tmp_path, capsys):
+    """`ftds worker --broker PATH --drain` consumes a sweep end to end."""
+    from repro.cli import main
+
+    path = str(tmp_path / "queue.db")
+    jobs = sweep_jobs(((8, 2, 2),), (0,), ("NFT",), 5.0, 1.0, TINY, tag="cli")
+    broker = SqliteBroker(path)
+    plan = enqueue_sweep(jobs, broker)
+
+    code = main(["worker", "--broker", path, "--drain", "--quiet"])
+    assert code == 0
+    assert "acked 1 job(s)" in capsys.readouterr().out
+    assert broker.state(plan.fingerprints[0]) == "done"
+    broker.close()
+
+
+def test_cli_resume_requires_broker(capsys):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["table1a", "--resume"])
+    assert excinfo.value.code == 2
+    assert "--resume requires --broker" in capsys.readouterr().err

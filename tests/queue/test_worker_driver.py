@@ -1,0 +1,193 @@
+"""Worker-loop and sweep-driver tests over the in-memory broker."""
+
+import pytest
+
+from repro.errors import ConfigurationError, QueueError
+from repro.experiments.parallel import CaseJob, run_case_jobs
+from repro.io.queue_codec import decode_result
+from repro.opt.strategy import OptimizationConfig
+from repro.queue.broker import DEAD, DONE
+from repro.queue.driver import enqueue_sweep, run_sweep
+from repro.queue.memory import MemoryBroker
+from repro.queue.worker import Worker
+
+TINY = OptimizationConfig(
+    minimize=True, rounds=1, greedy_max_iterations=3, tabu_max_iterations=2
+)
+
+
+def tiny_jobs(seeds=(0, 1, 2), variants=("NFT",)):
+    return [CaseJob(8, 2, 2, 5.0, s, variants, config=TINY) for s in seeds]
+
+
+class TestWorker:
+    def test_worker_processes_and_validates_sweep(self):
+        broker = MemoryBroker()
+        jobs = tiny_jobs(seeds=(0, 1))
+        plan = enqueue_sweep(jobs, broker)
+        worker = Worker(broker, lease_s=60.0, poll_interval_s=0.01)
+        acked = worker.run(drain=True)
+        assert acked == 2
+        assert worker.failed == 0
+        for fingerprint in plan.fingerprints:
+            assert broker.state(fingerprint) == DONE
+            runs, elapsed = decode_result(broker.result(fingerprint))
+            assert elapsed > 0.0
+            assert runs["NFT"].record is not None
+
+    def test_worker_nacks_undecodable_payload_to_dead_letter(self):
+        broker = MemoryBroker()
+        broker.enqueue("poison", "this is not json", max_attempts=2)
+        worker = Worker(broker, lease_s=60.0, poll_interval_s=0.01)
+        acked = worker.run(drain=True)
+        assert acked == 0
+        assert worker.failed == 2  # both deliveries nacked
+        (letter,) = broker.dead_letters()
+        assert "QueueError" in letter.error
+
+    def test_worker_nacks_jobs_whose_case_cannot_generate(self):
+        broker = MemoryBroker()
+        bad = CaseJob(0, 2, 2, 5.0, 0, ("NFT",), config=TINY, label="bad job")
+        enqueue_sweep([bad], broker, max_attempts=1)
+        Worker(broker, lease_s=60.0, poll_interval_s=0.01).run(drain=True)
+        (letter,) = broker.dead_letters()
+        assert "bad job" in letter.error  # describe() travels with the error
+        assert "ModelError" in letter.error
+
+    def test_max_jobs_stops_mid_sweep(self):
+        broker = MemoryBroker()
+        enqueue_sweep(tiny_jobs(), broker)
+        acked = Worker(broker, lease_s=60.0).run(max_jobs=2)
+        assert acked == 2
+        counts = broker.pending()
+        assert (counts.done, counts.queued) == (2, 1)
+
+
+class TestCrashRecovery:
+    def test_lease_expiry_redelivers_to_surviving_worker(self):
+        """A worker that leases and dies leads to redelivery, not loss."""
+        clock_broker = MemoryBroker()
+        jobs = tiny_jobs(seeds=(0,))
+        plan = enqueue_sweep(jobs, clock_broker, max_attempts=3)
+
+        # Simulated crash: the lease is taken but never acked or nacked.
+        crashed = clock_broker.lease("crashed-worker", 0.0)
+        assert crashed is not None
+
+        survivor = Worker(clock_broker, lease_s=60.0, poll_interval_s=0.01)
+        acked = survivor.run(drain=True)
+        assert acked == 1
+        assert clock_broker.state(plan.fingerprints[0]) == DONE
+        assert clock_broker.attempts(plan.fingerprints[0]) == 2
+
+    def test_repeated_crashes_exhaust_budget_to_dead_letter(self):
+        broker = MemoryBroker()
+        jobs = tiny_jobs(seeds=(0,))
+        plan = enqueue_sweep(jobs, broker, max_attempts=2)
+        for _ in range(2):  # every delivery goes to a crashing worker
+            assert broker.lease("crasher", 0.0) is not None
+        assert broker.lease("w", 60.0) is None
+        assert broker.state(plan.fingerprints[0]) == DEAD
+        (letter,) = broker.dead_letters()
+        assert "lease expired" in letter.error
+
+    def test_driver_reports_dead_letters_instead_of_hanging(self):
+        """A poison job exhausts its retries; the driver raises, not hangs."""
+        bad = CaseJob(0, 2, 2, 5.0, 0, ("NFT",), config=TINY, label="poison row")
+        with pytest.raises(QueueError) as excinfo:
+            run_sweep(
+                [bad], MemoryBroker(), local_workers=1, max_attempts=2,
+                timeout_s=60.0,
+            )
+        message = str(excinfo.value)
+        assert "dead-lettered" in message
+        assert "poison row" in message
+        assert "ModelError" in message
+
+
+class TestDriver:
+    def test_sweep_through_queue_matches_serial(self):
+        jobs = tiny_jobs(variants=("NFT", "MXR"))
+        serial = run_case_jobs(jobs, n_jobs=1)
+        results, stats = run_sweep(
+            jobs, MemoryBroker(), local_workers=2, timeout_s=120.0
+        )
+        assert stats.completed == len(jobs)
+        assert stats.checkpoint_hits == 0
+        for expected, actual in zip(serial, results):
+            for variant in expected:
+                assert actual[variant].makespan == expected[variant].makespan
+                assert actual[variant].record == expected[variant].record
+
+    def test_progress_streams_in_submission_order_with_elapsed(self):
+        jobs = tiny_jobs()
+        lines: list[str] = []
+        run_sweep(
+            jobs, MemoryBroker(), local_workers=2, progress=lines.append,
+            timeout_s=120.0,
+        )
+        assert len(lines) == len(jobs)
+        for index, (line, job) in enumerate(zip(lines, jobs)):
+            assert line.startswith(f"[{index + 1}/{len(jobs)}]")
+            assert job.describe() in line
+            assert line.rstrip().endswith("s)")  # worker wall-clock
+
+    def test_fresh_sweep_on_dirty_broker_is_refused(self):
+        broker = MemoryBroker()
+        broker.enqueue("old", "payload")
+        with pytest.raises(ConfigurationError):
+            run_sweep(tiny_jobs(), broker, local_workers=1)
+
+    def test_resume_skips_acked_jobs(self):
+        """Partial sweep + resume: checkpoint hits, no re-execution."""
+        broker = MemoryBroker()
+        jobs = tiny_jobs()
+        plan = enqueue_sweep(jobs, broker)
+        Worker(broker, lease_s=60.0).run(max_jobs=2)  # interrupted worker
+
+        results, stats = run_sweep(
+            jobs, broker, resume=True, local_workers=1, timeout_s=120.0
+        )
+        assert stats.checkpoint_hits == 2
+        assert stats.enqueued == 0  # identities matched the first submission
+        assert stats.completed == 3
+        # Acked jobs were never redelivered: still exactly one attempt.
+        for fingerprint in plan.fingerprints[:2]:
+            assert broker.attempts(fingerprint) == 1
+        serial = run_case_jobs(jobs, n_jobs=1)
+        assert [r["NFT"].makespan for r in results] == [
+            r["NFT"].makespan for r in serial
+        ]
+
+    def test_resume_with_changed_parameters_is_refused(self):
+        """Changed sweep parameters produce new fingerprints; resuming
+        must refuse rather than silently run both sweeps' jobs.  (Merely
+        *extending* a sweep with more seeds keeps the old identities and
+        stays allowed.)"""
+        broker = MemoryBroker()
+        enqueue_sweep(tiny_jobs(seeds=(0, 1)), broker)
+        with pytest.raises(ConfigurationError, match="not part of this sweep"):
+            enqueue_sweep(tiny_jobs(seeds=(5, 6)), broker, resume=True)
+        # Superset resume: old fingerprints are a prefix, nothing orphaned.
+        plan = enqueue_sweep(tiny_jobs(seeds=(0, 1, 2)), broker, resume=True)
+        assert plan.stats.enqueued >= 1
+
+    def test_resume_retries_dead_jobs_with_fresh_budget(self):
+        broker = MemoryBroker()
+        jobs = tiny_jobs(seeds=(0,))
+        plan = enqueue_sweep(jobs, broker, max_attempts=1)
+        broker.lease("crasher", 0.0)  # lease lapses -> dead on next sweep
+        assert broker.lease("w", 60.0) is None
+        assert broker.state(plan.fingerprints[0]) == DEAD
+
+        results, stats = run_sweep(
+            jobs, broker, resume=True, local_workers=1, timeout_s=120.0
+        )
+        assert stats.reset_dead == 1
+        assert stats.completed == 1
+        assert results[0]["NFT"].record is not None
+
+    def test_empty_sweep_completes_immediately(self):
+        results, stats = run_sweep([], MemoryBroker(), local_workers=0)
+        assert results == []
+        assert stats.total == 0
