@@ -15,7 +15,11 @@ Scale knobs (environment variables):
 from __future__ import annotations
 
 import os
+import platform
+import subprocess
 import sys
+from datetime import datetime, timezone
+from pathlib import Path
 
 import pytest
 
@@ -36,6 +40,34 @@ def seeds() -> tuple[int, ...]:
 @pytest.fixture
 def time_scale() -> float:
     return bench_time_scale()
+
+
+def bench_stamp() -> dict:
+    """Provenance stamp for the ``BENCH_*.json`` artifacts.
+
+    Records where a number came from, so a regression diff can distinguish
+    "the code got slower" from "it was measured on a different machine /
+    interpreter / commit".  The git SHA is ``None`` when the repository
+    metadata is unavailable (e.g. a source tarball).
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parent,
+            timeout=10,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        sha = None
+    return {
+        "git_sha": sha,
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
 
 
 def print_block(title: str, body: str) -> None:

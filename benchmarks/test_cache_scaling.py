@@ -25,6 +25,8 @@ from repro.gen.suite import generate_case
 from repro.opt.evaluator import DEFAULT_CACHE_SIZE
 from repro.opt.strategy import OptimizationConfig, optimize
 
+from benchmarks.conftest import bench_stamp
+
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_cache.json"
 
 CACHE_SIZES = (64, 256, 1024, 4096)
@@ -70,6 +72,7 @@ def test_cache_scaling_records_bench_json():
     rows = [_run_at(size) for size in CACHE_SIZES]
 
     record = {
+        "stamp": bench_stamp(),
         "case": {"n_processes": 20, "n_nodes": 2, "k": 3, "mu": 5.0, "seed": 0},
         "strategy": "MXR",
         "config": {

@@ -26,6 +26,8 @@ from repro.opt.strategy import OptimizationConfig
 from repro.queue.memory import MemoryBroker
 from repro.queue.sqlite import SqliteBroker
 
+from benchmarks.conftest import bench_stamp
+
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_queue.json"
 
 #: Synthetic payload roughly the size of an encoded CaseJob.
@@ -87,6 +89,7 @@ def test_queue_overhead_records_bench_json(tmp_path):
     ]
 
     record = {
+        "stamp": bench_stamp(),
         "benchmark": "queue_overhead",
         "brokers": {
             "memory": _micro_ops(MemoryBroker),

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Fail CI when the evaluation pipeline gets materially slower.
+
+Compares a freshly measured ``BENCH_scheduler.json`` against the baseline
+committed at ``HEAD`` and exits non-zero when the headline
+``evaluations_per_sec`` dropped by more than the allowed fraction
+(default 30% — generous enough that shared-runner noise never trips it,
+tight enough that an accidental O(n) regression in the delta kernel or
+the scheduler inner loop does).
+
+Usage (CI runs it right after the smoke benchmark regenerates the file)::
+
+    python scripts/check_bench_regression.py [--current BENCH_scheduler.json]
+        [--allowed-drop 0.30]
+
+The baseline is read from ``git show HEAD:BENCH_scheduler.json`` so the
+working-tree file can be the fresh measurement.  The gate is advisory
+infrastructure, not physics: runs labelled ``perf-regression-expected``
+skip the CI step entirely (see .github/workflows/ci.yml), and a missing
+baseline (first run, shallow clone without the file) passes with a notice.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+HEADLINE = "evaluations_per_sec"
+
+
+def baseline_record(repo: Path) -> dict | None:
+    try:
+        out = subprocess.run(
+            ["git", "show", "HEAD:BENCH_scheduler.json"],
+            capture_output=True,
+            text=True,
+            cwd=repo,
+            timeout=30,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    try:
+        return json.loads(out.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=Path("BENCH_scheduler.json"),
+        help="freshly measured record (default: BENCH_scheduler.json)",
+    )
+    parser.add_argument(
+        "--allowed-drop",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional drop of the headline "
+        "evaluations_per_sec (default: 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    current = json.loads(args.current.read_text())
+    measured = float(current[HEADLINE])
+
+    baseline = baseline_record(args.current.resolve().parent)
+    if baseline is None or HEADLINE not in baseline:
+        print(
+            "perf gate: no committed baseline BENCH_scheduler.json at HEAD "
+            "— passing by default"
+        )
+        return 0
+    committed = float(baseline[HEADLINE])
+    if committed <= 0:
+        print("perf gate: committed baseline is non-positive — skipping")
+        return 0
+
+    floor = committed * (1.0 - args.allowed_drop)
+    verdict = "OK" if measured >= floor else "REGRESSION"
+    print(
+        f"perf gate [{verdict}]: {HEADLINE} measured {measured:.1f} "
+        f"vs committed {committed:.1f} "
+        f"(floor {floor:.1f} = -{args.allowed_drop:.0%}; "
+        f"baseline sha {baseline.get('stamp', {}).get('git_sha', '?')})"
+    )
+    if measured < floor:
+        print(
+            "The evaluation pipeline is more than "
+            f"{args.allowed_drop:.0%} slower than the committed baseline.\n"
+            "If the slowdown is intended (heavier analysis, measurement "
+            "environment change), either regenerate the committed "
+            "BENCH_scheduler.json on the PR or apply the "
+            "'perf-regression-expected' label to skip this gate."
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

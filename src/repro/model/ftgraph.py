@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import networkx as nx
 
@@ -69,6 +70,22 @@ class InputGroup:
 
     message: Message
     sources: tuple[str, ...]  # sender instance ids, replica order
+
+    @cached_property
+    def frame_ids(self) -> tuple[tuple[str, str, str], ...]:
+        """``(src_iid, fast_frame_id, guaranteed_frame_id)`` per source.
+
+        The frame id strings depend only on the message name and the sender
+        instance ids, both frozen — and groups are shared by reference
+        between a base FT graph and its move overlays
+        (:func:`ft_graph_with_move`), so the release-row hot path formats
+        each id once per group lifetime instead of once per lookup.
+        """
+        name = self.message.name
+        return tuple(
+            (src, f"{name}[{src}]", f"{name}[{src}]#g")
+            for src in self.sources
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -247,6 +264,177 @@ def build_ft_graph(
             ft.inputs[dst_iid] = tuple(groups)
 
     _collect_bus_messages(graph, ft, faults.k)
+    return ft
+
+
+def ft_graph_with_move(
+    base: FTGraph,
+    graph: ProcessGraph,
+    policies: PolicyAssignment,
+    mapping: ReplicaMapping,
+    faults: FaultModel,
+    process: str,
+) -> FTGraph:
+    """Overlay clone of ``base`` for a single-process design change.
+
+    ``policies``/``mapping`` are the *moved* assignment (they must differ
+    from ``base`` only in ``process``).  Equivalent to
+    ``build_ft_graph(graph, policies, mapping, faults)`` but rebuilt only
+    where the move can reach:
+
+    * ``process``'s own instances (node, WCET, re-executions, group size),
+    * adjacency and input groups touching those instances (predecessor and
+      successor processes of ``process`` in the application graph),
+    * bus frames transmitted by ``process`` (sender node/kinds changed) and
+      by its predecessor processes (their frames' *receiver* node sets
+      include ``process``'s new nodes, which decides whether a frame is
+      needed at all).
+
+    Everything else — instances, input-group objects, adjacency lists, bus
+    frames — is shared by reference with ``base``, which both keeps the
+    overlay cheap (O(cone), not O(graph)) and lets the delta kernel test
+    "unchanged" with identity checks.  The base graph is never mutated:
+    every container that differs is a fresh copy.
+    """
+    policy = policies[process]
+    policy.validate_for(faults.k)
+    nodes = mapping[process]
+    if len(nodes) != policy.n_replicas:
+        raise ModelError(
+            f"process {process!r}: {len(nodes)} mapped replicas but policy "
+            f"has {policy.n_replicas}"
+        )
+    proc = graph.processes[process]
+    old_ids = base.group_of[process]
+
+    ft = FTGraph()
+    ft.instances = dict(base.instances)
+    ft.group_of = dict(base.group_of)
+    ft.inputs = dict(base.inputs)
+    ft.bus_messages = dict(base.bus_messages)
+    ft._out_bus = dict(base._out_bus)
+    ft._succ = dict(base._succ)
+    ft._pred = dict(base._pred)
+    ft._edges = base._edges  # reconciled below iff the edge set changed
+
+    for iid in old_ids:
+        del ft.instances[iid]
+        del ft.inputs[iid]
+    new_ids = []
+    for replica, node in enumerate(nodes):
+        iid = instance_id(process, replica)
+        wcet = proc.wcet_on(node)
+        if policy.checkpoints > 0:
+            wcet += policy.checkpoints * faults.checkpoint_overhead
+        ft.instances[iid] = Instance(
+            id=iid,
+            process=process,
+            replica=replica,
+            node=node,
+            wcet=wcet,
+            reexecutions=policy.reexecutions[replica],
+            release=proc.release,
+            deadline=proc.deadline,
+            checkpoints=policy.checkpoints,
+        )
+        new_ids.append(iid)
+    new_group = tuple(new_ids)
+    ft.group_of[process] = new_group
+
+    # Input groups: the moved process keeps its base groups verbatim (its
+    # senders did not change); each successor's group over ``process`` is
+    # re-pointed at the new replica tuple, other groups stay shared.
+    base_inputs = base.inputs.get(old_ids[0], ())
+    for iid in new_ids:
+        ft.inputs[iid] = base_inputs
+    succ_processes = sorted({m.dst for m in graph.out_messages(process)})
+    pred_processes = sorted({m.src for m in graph.in_messages(process)})
+    for succ_name in succ_processes:
+        rewired = tuple(
+            InputGroup(message=g.message, sources=new_group)
+            if g.message.src == process
+            else g
+            for g in base.inputs[base.group_of[succ_name][0]]
+        )
+        for iid in ft.group_of[succ_name]:
+            ft.inputs[iid] = rewired
+
+    # Adjacency: rebuild the out-lists of senders into the move cone and the
+    # in-lists of receivers inside it; every other list is shared.  The two
+    # sides stay consistent because every rebuilt edge has either its sender
+    # or both endpoints rebuilt (the application DAG is bipartite around
+    # ``process``: senders are its predecessors, receivers its successors).
+    sender_processes = [*pred_processes, process]
+    receiver_processes = [process, *succ_processes]
+    for name in sender_processes:
+        out_groups = [
+            ft.group_of[m.dst] for m in graph.out_messages(name)
+        ]
+        for iid in ft.group_of[name]:
+            seen: set[str] = set()
+            succs: list[str] = []
+            for receivers in out_groups:
+                for dst_iid in receivers:
+                    if dst_iid not in seen:
+                        seen.add(dst_iid)
+                        succs.append(dst_iid)
+            ft._succ[iid] = succs
+    for name in receiver_processes:
+        in_groups = [ft.group_of[m.src] for m in graph.in_messages(name)]
+        for iid in ft.group_of[name]:
+            seen = set()
+            preds: list[str] = []
+            for senders in in_groups:
+                for src_iid in senders:
+                    if src_iid not in seen:
+                        seen.add(src_iid)
+                        preds.append(src_iid)
+            ft._pred[iid] = preds
+    for iid in old_ids[len(new_ids):]:
+        del ft._succ[iid]
+        del ft._pred[iid]
+    if len(new_ids) != len(old_ids):
+        ft._edges = {
+            (src, dst) for src, succs in ft._succ.items() for dst in succs
+        }
+
+    # Bus frames: senders in the cone get their frame lists rebuilt with the
+    # same per-sender ordering as :func:`_collect_bus_messages` (the list
+    # scheduler packs a sender's frames in list order, so the order is part
+    # of byte-level schedule identity).
+    rebuilt_senders = {
+        iid for name in sender_processes for iid in ft.group_of[name]
+    } | set(old_ids)
+    ft.bus_messages = {
+        bid: m
+        for bid, m in ft.bus_messages.items()
+        if m.sender not in rebuilt_senders
+    }
+    for iid in rebuilt_senders:
+        ft._out_bus.pop(iid, None)
+    for name in sender_processes:
+        group = ft.group_of[name]
+        backed = _guaranteed_backed(ft, group, faults.k)
+        for message in graph.out_messages(name):
+            receiver_nodes = {
+                ft.instances[iid].node for iid in ft.group_of[message.dst]
+            }
+            for src_iid in group:
+                sender = ft.instances[src_iid]
+                if not receiver_nodes - {sender.node}:
+                    continue
+                if len(group) == 1:
+                    kinds = ("masked",)
+                elif src_iid in backed:
+                    kinds = ("fast", "guaranteed")
+                else:
+                    kinds = ("fast",)
+                for kind in kinds:
+                    bus_msg = BusMessage(
+                        sender=src_iid, message=message, kind=kind
+                    )
+                    ft.bus_messages[bus_msg.id] = bus_msg
+                    ft._out_bus.setdefault(src_iid, []).append(bus_msg)
     return ft
 
 

@@ -1,31 +1,56 @@
-"""Candidate evaluation: list-schedule an implementation and price it.
+"""Candidate evaluation: schedule an implementation and price it.
 
-Tabu search revisits design points frequently, so evaluation results are
-cached by the implementation's canonical signature.  The cache is a bounded
-LRU holding the *compact schedule record* — cost **and** full schedule IR —
-so one list-scheduling pass serves both the pricing of a candidate and the
-critical-path extraction the search performs on the chosen solution.
+This is the single documented evaluation surface of the optimizer (the
+``evaluate``/``evaluate_full``/``cost_of_record`` trio of earlier revisions
+is kept as thin shims over it):
 
-:meth:`Evaluator.evaluate_record` is the hot path: it returns ``(Cost,
-ScheduleRecord)`` and never materializes object views.  Callers that need
-the classic :class:`~repro.schedule.table.SystemSchedule` (validation,
-rendering, the final result of a strategy run) go through
-:meth:`evaluate_full`/:meth:`schedule`, which rebind the cached record to a
-freshly expanded FT graph.
+* :meth:`Evaluator.evaluate_record` — canonical single-candidate path:
+  ``(Cost, ScheduleRecord)`` from one cold list-scheduling pass, LRU-cached
+  by the implementation's canonical signature.
+* :meth:`Evaluator.evaluate_many` — the search hot path: a whole
+  neighbourhood of single-process moves priced against one shared
+  :class:`~repro.schedule.incremental.EvalContext` via delta re-scheduling.
+  Candidates are priced *without sealing a record*
+  (:meth:`~repro.schedule.state.SchedulerState.cost_view`); the caller
+  seals only the candidates it actually follows via :meth:`realize`.
+* :meth:`Evaluator.evaluate_delta` — one candidate through the delta
+  kernel, for callers that manage their own neighbourhood loop.
+* :meth:`Evaluator.evaluate_full` / :meth:`schedule` — materialized
+  :class:`~repro.schedule.table.SystemSchedule` views for validation,
+  rendering and final results.  ``evaluate_full`` always runs or rebinds a
+  *cold* full pass and is the golden-parity fallback for the delta kernel
+  (the parity suite asserts delta records equal it byte-for-byte).
+
+Caching: results are cached by design signature in a bounded LRU.  An entry
+holds the cost and, when one was ever sealed, the compact schedule record;
+delta-priced entries start record-less and are filled in on first
+:meth:`realize`.  Cost parity between the two tiers is exact (see
+``cost_view``), so a cache entry's cost never depends on which tier priced
+it.
+
+Counters: ``evaluations`` counts *pricings of designs not served by the
+cache* — the sum of ``full_evaluations`` and ``delta_evaluations``.
+Sealing a record for an already-priced design (``realize``, or a view
+request hitting a record-less entry) is materialization, not evaluation:
+it is counted in ``record_rebuilds`` instead.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import NamedTuple
+from dataclasses import dataclass
+from typing import Iterable, NamedTuple
 
 from repro.model.application import ProcessGraph
 from repro.model.fault import FaultModel
 from repro.model.ftgraph import build_ft_graph
 from repro.opt.cost import Cost
 from repro.opt.implementation import Implementation
+from repro.opt.moves import Move
+from repro.schedule.incremental import EvalContext
 from repro.schedule.list_scheduler import build_schedule_record
 from repro.schedule.record import ScheduleRecord
+from repro.schedule.state import SchedulerState
 from repro.schedule.table import SystemSchedule
 
 #: Default bound of the LRU schedule cache.  A cached entry is a compact
@@ -41,6 +66,13 @@ from repro.schedule.table import SystemSchedule
 #: equal wall-clock.  See DESIGN.md.
 DEFAULT_CACHE_SIZE = 4096
 
+#: Bound of the base-context LRU used by :meth:`Evaluator.evaluate_many`.
+#: The search advances one base per iteration, but tabu oscillation can
+#: bounce between a couple of recent bases; contexts are an order of
+#: magnitude heavier than records (trace + snapshots), so the bound is
+#: deliberately tiny.
+DEFAULT_CONTEXT_CACHE_SIZE = 4
+
 
 class CacheInfo(NamedTuple):
     """Cache statistics à la ``functools.lru_cache``."""
@@ -49,6 +81,25 @@ class CacheInfo(NamedTuple):
     misses: int
     size: int  # entries currently retained
     bound: int  # maximum entries (LRU capacity)
+
+
+@dataclass(slots=True)
+class CandidateEval:
+    """One priced neighbourhood candidate (see :meth:`Evaluator.evaluate_many`).
+
+    The cost is final; the schedule record is deliberately *not* — sealing
+    is deferred until :meth:`Evaluator.realize` is called for the (usually
+    single) candidate the search follows.  ``_state`` holds the completed
+    but unsealed scheduler state of a fresh delta pricing; ``_record`` is
+    set when the record already exists (cache hit or full-path pricing).
+    """
+
+    move: Move
+    implementation: Implementation
+    cost: Cost
+    _signature: tuple | None = None
+    _state: SchedulerState | None = None
+    _record: ScheduleRecord | None = None
 
 
 class Evaluator:
@@ -60,15 +111,27 @@ class Evaluator:
         faults: FaultModel,
         cache: bool = True,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        delta: bool = True,
+        context_cache_size: int = DEFAULT_CONTEXT_CACHE_SIZE,
     ) -> None:
         self.merged = merged
         self.faults = faults
         self.evaluations = 0
+        self.full_evaluations = 0
+        self.delta_evaluations = 0
+        self.record_rebuilds = 0
         self.cache_hits = 0
         self._cache_size = cache_size
+        # Entry layout: [Cost, ScheduleRecord | None] — a mutable pair so
+        # realize() can fill the record into an existing entry in place.
         self._cache: (
-            OrderedDict[tuple, tuple[Cost, ScheduleRecord]] | None
+            OrderedDict[tuple, list] | None
         ) = OrderedDict() if cache else None
+        self._delta = delta
+        self._context_cache_size = context_cache_size
+        self._contexts: OrderedDict[tuple, EvalContext] = OrderedDict()
+
+    # -- canonical single-candidate path ------------------------------------
 
     def evaluate_record(
         self, implementation: Implementation
@@ -78,7 +141,7 @@ class Evaluator:
         return cost, record
 
     def _evaluate(self, implementation: Implementation):
-        """Core pipeline; also returns the FT graph when freshly expanded.
+        """Core full-pass pipeline; also returns the FT graph when expanded.
 
         The third element is ``None`` on a cache hit — view-materializing
         callers rebuild it then, but a miss hands its FT graph on so the
@@ -88,12 +151,18 @@ class Evaluator:
         signature = None
         if cache is not None:
             signature = implementation.signature()
-            cached = cache.get(signature)
-            if cached is not None:
+            entry = cache.get(signature)
+            if entry is not None:
                 cache.move_to_end(signature)
                 self.cache_hits += 1
-                return (*cached, None)
+                if entry[1] is None:
+                    # Delta-priced entry that was never sealed: the cost is
+                    # final, only the record is materialized (and memoized)
+                    # now.
+                    entry[1] = self._rebuild_record(implementation)
+                return entry[0], entry[1], None
         self.evaluations += 1
+        self.full_evaluations += 1
         ft = build_ft_graph(
             self.merged,
             implementation.policies,
@@ -105,19 +174,166 @@ class Evaluator:
         )
         cost = self.cost_of_record(record)
         if cache is not None:
-            cache[signature] = (cost, record)
-            if len(cache) > self._cache_size:
-                cache.popitem(last=False)
+            self._store(signature, [cost, record])
         return cost, record, ft
+
+    def _rebuild_record(self, implementation: Implementation) -> ScheduleRecord:
+        """Cold record for an already-priced design (not an evaluation)."""
+        self.record_rebuilds += 1
+        ft = build_ft_graph(
+            self.merged,
+            implementation.policies,
+            implementation.mapping,
+            self.faults,
+        )
+        return build_schedule_record(
+            self.merged, ft, self.faults, implementation.bus
+        )
+
+    def _store(self, signature: tuple, entry: list) -> None:
+        cache = self._cache
+        cache[signature] = entry
+        if len(cache) > self._cache_size:
+            cache.popitem(last=False)
+
+    # -- delta tier ---------------------------------------------------------
+
+    def context_for(self, implementation: Implementation) -> EvalContext:
+        """The captured base context of ``implementation`` (LRU-cached).
+
+        Capturing runs one traced cold schedule (the sealed record is
+        byte-identical to an untraced pass) plus periodic state snapshots;
+        the cost amortizes over every move priced against the base.
+        """
+        signature = implementation.signature()
+        contexts = self._contexts
+        context = contexts.get(signature)
+        if context is None:
+            ft = build_ft_graph(
+                self.merged,
+                implementation.policies,
+                implementation.mapping,
+                self.faults,
+            )
+            context = EvalContext.capture(
+                self.merged, ft, self.faults, implementation.bus
+            )
+            contexts[signature] = context
+            if len(contexts) > self._context_cache_size:
+                contexts.popitem(last=False)
+            if self._cache is not None and signature not in self._cache:
+                # The capture pass produced the base's sealed record anyway;
+                # keep it (a side effect of capturing, not a priced
+                # evaluation request, so no counter moves).
+                self._store(
+                    signature,
+                    [self.cost_of_record(context.record), context.record],
+                )
+        else:
+            contexts.move_to_end(signature)
+        return context
+
+    def evaluate_delta(
+        self, base: Implementation, move: Move
+    ) -> CandidateEval:
+        """Price ``move`` applied to ``base`` via cone-suffix re-scheduling.
+
+        Falls back to a full pass when the delta tier is disabled.  The
+        returned candidate carries the final cost; call :meth:`realize` to
+        obtain its schedule record.
+        """
+        return self._evaluate_move(
+            self.context_for(base) if self._delta else None, base, move
+        )
+
+    def evaluate_many(
+        self, base: Implementation, moves: Iterable[Move]
+    ) -> list[CandidateEval]:
+        """Price a whole neighbourhood of ``base`` (the search hot path).
+
+        One :class:`EvalContext` capture of ``base`` is shared by every
+        move; each cache miss costs one delta replay *without* sealing.
+        The order of the result matches ``moves``.
+        """
+        context = self.context_for(base) if self._delta else None
+        return [self._evaluate_move(context, base, move) for move in moves]
+
+    def _evaluate_move(
+        self,
+        context: EvalContext | None,
+        base: Implementation,
+        move: Move,
+    ) -> CandidateEval:
+        candidate = move.apply(base)
+        cache = self._cache
+        signature = None
+        if cache is not None:
+            signature = candidate.signature()
+            entry = cache.get(signature)
+            if entry is not None:
+                cache.move_to_end(signature)
+                self.cache_hits += 1
+                return CandidateEval(
+                    move, candidate, entry[0], signature, None, entry[1]
+                )
+        if context is None:
+            cost, record, _ = self._evaluate(candidate)
+            return CandidateEval(
+                move, candidate, cost, signature, None, record
+            )
+        state, _stats = context.delta_schedule(
+            candidate.policies, candidate.mapping, move.process
+        )
+        degree, makespan = state.cost_view()
+        cost = Cost(
+            schedulable=degree == 0.0, degree=degree, makespan=makespan
+        )
+        self.evaluations += 1
+        self.delta_evaluations += 1
+        if cache is not None:
+            self._store(signature, [cost, None])
+        return CandidateEval(move, candidate, cost, signature, state, None)
+
+    def realize(self, candidate: CandidateEval) -> ScheduleRecord:
+        """Seal (or fetch) the schedule record behind a priced candidate.
+
+        For a fresh delta pricing this seals the pending scheduler state —
+        byte-identical to a cold pass by the delta kernel's parity
+        contract; for a cache hit it returns the cached record, cold-
+        rebuilding it once if the entry was priced record-less.
+        """
+        record = candidate._record
+        if record is None:
+            state = candidate._state
+            if state is not None:
+                record = state.seal()
+                candidate._state = None
+            else:
+                record = self._rebuild_record(candidate.implementation)
+            candidate._record = record
+            cache = self._cache
+            if cache is not None and candidate._signature is not None:
+                entry = cache.get(candidate._signature)
+                if entry is not None:
+                    entry[1] = record
+                else:
+                    self._store(
+                        candidate._signature, [candidate.cost, record]
+                    )
+        return record
+
+    # -- materialized views (golden-parity fallback tier) -------------------
 
     def evaluate_full(
         self, implementation: Implementation
     ) -> tuple[Cost, SystemSchedule]:
         """Cost and materialized schedule view of ``implementation``.
 
-        On a cache hit the record is rebound to a freshly expanded FT
-        graph — a few percent of a scheduling pass — so only callers that
-        actually render, simulate or hand the schedule on pay for views.
+        Always a *cold* full pass (or the cached record of one): this is
+        the golden-parity fallback the delta tier is checked against.  On a
+        cache hit the record is rebound to a freshly expanded FT graph — a
+        few percent of a scheduling pass — so only callers that actually
+        render, simulate or hand the schedule on pay for views.
         """
         cost, record, ft = self._evaluate(implementation)
         if ft is None:
@@ -144,6 +360,8 @@ class Evaluator:
         """Full schedule view for ``implementation`` (record LRU-cached)."""
         return self.evaluate_full(implementation)[1]
 
+    # -- thin shims over the canonical surface ------------------------------
+
     def cost_of_record(self, record: ScheduleRecord) -> Cost:
         degree = record.degree_of_schedulability()
         return Cost(
@@ -158,6 +376,8 @@ class Evaluator:
     def evaluate(self, implementation: Implementation) -> Cost:
         """Cost of ``implementation`` (cached by design signature)."""
         return self.evaluate_record(implementation)[0]
+
+    # -- statistics ----------------------------------------------------------
 
     def cache_info(self) -> CacheInfo:
         """Hits, misses, current size and bound of the evaluation cache."""

@@ -62,26 +62,22 @@ def greedy_mpa(
             replica_counts,
             checkpoint_segments,
         )
-        # Single-pass evaluation: each candidate is priced and scheduled in
-        # one list-scheduling call returning the compact IR; the winner's
-        # implementation and record are reused directly instead of
-        # re-applying the move, and the critical path is walked on the
-        # record's binding index triples — no view is ever materialized.
-        best_candidate = None
+        # Batched delta evaluation: the whole neighbourhood is priced
+        # against one captured base context (cone-suffix replays, no
+        # records sealed); only the winner's schedule is realized, and the
+        # critical path is walked on the record's binding index triples —
+        # no view is ever materialized.
+        best = None
         best_cost = current_cost
-        best_record = None
-        for move in moves:
-            candidate = move.apply(current)
-            cost, record = evaluator.evaluate_record(candidate)
-            if cost.is_better_than(best_cost):
-                best_candidate = candidate
-                best_cost = cost
-                best_record = record
-        if best_candidate is None:
+        for candidate in evaluator.evaluate_many(current, moves):
+            if candidate.cost.is_better_than(best_cost):
+                best = candidate
+                best_cost = candidate.cost
+        if best is None:
             break
-        current = best_candidate
+        current = best.implementation
         current_cost = best_cost
-        current_record = best_record
+        current_record = evaluator.realize(best)
         outcome.iterations += 1
         outcome.history.append(current_cost)
 

@@ -26,7 +26,6 @@ from repro.opt.evaluator import Evaluator
 from repro.opt.greedy import SearchOutcome
 from repro.opt.implementation import Implementation
 from repro.opt.moves import Move, generate_moves
-from repro.schedule.record import ScheduleRecord
 
 
 def tabu_search_mpa(
@@ -69,27 +68,23 @@ def tabu_search_mpa(
         if not moves:
             break
 
-        # Single-pass evaluation: every candidate is built and scheduled
-        # exactly once into a compact record; the chosen move's
-        # implementation and record are reused below instead of re-applying
-        # the move and re-scheduling.
-        candidates: list[tuple[Move, Implementation, Cost, ScheduleRecord]] = []
-        for move in moves:
-            candidate = move.apply(x_now)
-            cost, record = evaluator.evaluate_record(candidate)
-            candidates.append((move, candidate, cost, record))
+        # Batched delta evaluation: the neighbourhood is priced against one
+        # captured base context (cone-suffix replays, nothing sealed); only
+        # the *chosen* move's schedule record is realized — the selection
+        # itself needs costs alone.
+        candidates = evaluator.evaluate_many(x_now, moves)
         chosen = _select_move(
-            [(move, cost) for move, _, cost, _ in candidates],
+            [(candidate.move, candidate.cost) for candidate in candidates],
             tabu, wait, best_cost, graph_size,
         )
         if chosen is None:
             break
         move, now_cost = chosen
-        x_now, now_record = next(
-            (impl, record)
-            for m, impl, _, record in candidates
-            if m is move
+        chosen_eval = next(
+            candidate for candidate in candidates if candidate.move is move
         )
+        x_now = chosen_eval.implementation
+        now_record = evaluator.realize(chosen_eval)
         outcome.iterations += 1
         outcome.history.append(now_cost)
         if now_cost.is_better_than(best_cost):

@@ -1,0 +1,657 @@
+"""Incremental (delta) re-scheduling around a captured base schedule.
+
+The optimizer's neighbourhood moves change one process's mapping/policy;
+the rest of the design is untouched.  A cold list-scheduling pass therefore
+re-derives mostly identical rows.  This module captures one base schedule
+as an :class:`EvalContext` — the sealed record plus the per-step trace and
+periodic :class:`~repro.schedule.state.SchedulerSnapshot`s — and replays
+*moved* variants against it:
+
+1. **Graph overlay** — :func:`repro.model.ftgraph.ft_graph_with_move`
+   rebuilds only the moved process's cone of the FT graph, sharing every
+   untouched object with the base by reference.
+2. **Prefix resume** — instances whose parameters and priorities are
+   unchanged are popped in the base order until the first rank at which a
+   changed instance *could* become ready (its base ready rank).  The replay
+   restores the deepest snapshot strictly below that rank instead of
+   re-scheduling the prefix.
+3. **Suffix clean-copy** — after the divergence rank the replay still pops
+   from a live heap (order may differ), but an instance whose inputs are
+   provably unaffected — senders value-clean with unchanged parameters,
+   the MEDL descriptors it reads byte-identical, the same chain predecessor
+   with an equal tail row — has its base rows copied verbatim instead of
+   re-running the release/worst-case machinery.  Bus packs are copied via a
+   per-node cursor into the base pack sequence for as long as a node's pack
+   stream matches the base exactly; the first mismatch switches that node
+   to live first-fit packing forever.
+4. **Convergence** — a recomputed instance whose rows come out equal to the
+   base re-enters the clean set, so divergence cones close instead of
+   poisoning everything downstream.
+
+Byte-identity is the contract: the sealed delta record must equal the cold
+``build_schedule_record`` of the moved implementation *exactly* (the
+property suite in ``tests/opt/test_delta_parity.py`` enforces it, and
+DESIGN.md documents the argument).  Whenever a precondition cannot be
+established the kernel silently degrades to recomputation — the worst case
+is a full replay, never a wrong record.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from heapq import heappop, heappush
+
+import numpy as np
+
+from repro.model.application import ProcessGraph
+from repro.model.fault import FaultModel
+from repro.model.ftgraph import FTGraph, ft_graph_with_move
+from repro.model.mapping import ReplicaMapping
+from repro.model.policy import PolicyAssignment
+from repro.schedule.record import (
+    BIND_INPUT,
+    BIND_NODE,
+    BIND_RELEASE,
+    ScheduleRecord,
+)
+from repro.schedule.state import (
+    SchedulerSnapshot,
+    SchedulerState,
+    ScheduleTrace,
+    release_row,
+)
+from repro.ttp.bus import BusConfig
+
+
+@dataclass(frozen=True, slots=True)
+class MoveCone:
+    """The schedule region a single-process design change can reach.
+
+    ``earliest_rank`` is the deepest base placement rank guaranteed to be
+    unaffected: every instance whose parameters or priority the move
+    changes first becomes ready at or after it, so the base schedule's
+    prefix below that rank is byte-reusable.  ``changed`` lists the
+    instance ids with changed parameters or priorities (the cone's seeds —
+    divergence may spread further during replay, which the kernel tracks
+    dynamically).
+    """
+
+    process: str
+    earliest_rank: int
+    changed: frozenset[str]
+
+
+@dataclass(slots=True)
+class DeltaStats:
+    """Work accounting of one delta replay (for benchmarks/telemetry)."""
+
+    resumed_rank: int
+    copied: int
+    recomputed: int
+
+    @property
+    def scheduled(self) -> int:
+        return self.copied + self.recomputed
+
+
+class EvalContext:
+    """One base schedule, captured with everything delta replays need."""
+
+    __slots__ = (
+        "graph",
+        "ft",
+        "faults",
+        "bus",
+        "priorities",
+        "record",
+        "trace",
+        "no_recovery_rows",
+        "base_index",
+        "chain_pred",
+        "reads",
+        "medl_by_id",
+        "snapshots",
+        "_snapshot_ranks",
+        "_root_finish_arr",
+        "_ready_rank_arr",
+        "_ancestors",
+    )
+
+    def __init__(
+        self,
+        graph: ProcessGraph,
+        ft: FTGraph,
+        faults: FaultModel,
+        bus: BusConfig,
+        priorities: dict[str, float],
+        record: ScheduleRecord,
+        trace: ScheduleTrace,
+        no_recovery_rows: dict[str, tuple[float, ...]],
+        medl_by_id: dict,
+        snapshots: list[tuple[int, SchedulerSnapshot, dict[str, int]]],
+    ) -> None:
+        self.graph = graph
+        self.ft = ft
+        self.faults = faults
+        self.bus = bus
+        self.priorities = priorities
+        self.record = record
+        self.trace = trace
+        self.no_recovery_rows = no_recovery_rows
+        self.medl_by_id = medl_by_id
+        self.snapshots = snapshots
+        self._snapshot_ranks = [rank for rank, _, _ in snapshots]
+        self._ancestors: dict[str, tuple[str, ...]] = {}
+
+        ids = record.instance_ids
+        self.base_index = {iid: index for index, iid in enumerate(ids)}
+        # Flat numpy mirrors of the per-rank base columns.  The kernel's
+        # scalar paths index the record tuples directly (faster at this
+        # row width), but batched consumers — evaluate_many aggregation,
+        # cone statistics — slice these without re-walking Python tuples.
+        self._root_finish_arr = np.asarray(record.root_finish)
+        self._ready_rank_arr = np.asarray(
+            [trace.ready_rank[iid] for iid in ids], dtype=np.int32
+        )
+
+        chain_pred: dict[str, str | None] = {}
+        for chain in record.node_chains:
+            prev: int | None = None
+            for index in chain:
+                chain_pred[ids[index]] = None if prev is None else ids[prev]
+                prev = index
+        self.chain_pred = chain_pred
+
+        # Per-instance read sets against the *base* graph: which sender
+        # instances and which MEDL descriptors its release row consults.
+        # Valid for every instance the overlay shares with the base (the
+        # moved process's own instances never take the copy path).
+        reads: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {}
+        instances = ft.instances
+        bus_messages = ft.bus_messages
+        for iid, inst in instances.items():
+            senders: list[str] = []
+            desc_ids: list[str] = []
+            for group in ft.inputs_of(iid):
+                message_name = group.message.name
+                replicated = len(group.sources) > 1
+                for src_iid in group.sources:
+                    senders.append(src_iid)
+                    if instances[src_iid].node == inst.node:
+                        continue
+                    fast_id = f"{message_name}[{src_iid}]"
+                    desc_ids.append(fast_id)
+                    if replicated and f"{fast_id}#g" in bus_messages:
+                        desc_ids.append(f"{fast_id}#g")
+            reads[iid] = (tuple(senders), tuple(desc_ids))
+        self.reads = reads
+
+    # -- capture -----------------------------------------------------------
+
+    @classmethod
+    def capture(
+        cls,
+        graph: ProcessGraph,
+        ft: FTGraph,
+        faults: FaultModel,
+        bus: BusConfig,
+        *,
+        stride: int | None = None,
+    ) -> "EvalContext":
+        """Run one traced cold schedule, snapshotting every ``stride`` ranks.
+
+        The sealed record is byte-identical to an untraced
+        ``build_schedule_record`` — tracing only observes.
+        """
+        if stride is None:
+            # Denser snapshots help small problems (every restore skips
+            # more of the prefix proportionally); for big ones the snapshot
+            # copies themselves would dominate, so space them out.
+            stride = max(8, len(ft) // 8)
+        trace = ScheduleTrace()
+        state = SchedulerState(graph, ft, faults, bus, trace=trace)
+        snapshots: list[tuple[int, SchedulerSnapshot, dict[str, int]]] = []
+        pack = trace.pack
+        while not state.done:
+            rank = state.rank
+            if rank % stride == 0:
+                counts = {node: len(seq) for node, seq in pack.items()}
+                snapshots.append((rank, state.snapshot(), counts))
+            state.step()
+        record = state.seal()
+        return cls(
+            graph=graph,
+            ft=ft,
+            faults=faults,
+            bus=bus,
+            priorities=state.priorities,
+            record=record,
+            trace=trace,
+            no_recovery_rows=state.no_recovery_rows,
+            medl_by_id=state.bus_scheduler.medl.by_id(),
+            snapshots=snapshots,
+        )
+
+    # -- cone --------------------------------------------------------------
+
+    def cone_of(
+        self,
+        moved_ft: FTGraph,
+        moved_priorities: dict[str, float],
+        process: str,
+    ) -> MoveCone:
+        """Exact impact cone of a single-process change (see Move.cone)."""
+        ready_rank = self.trace.ready_rank
+        base_priorities = self.priorities
+        changed: set[str] = set(self.ft.group_of[process])
+        changed.update(moved_ft.group_of[process])
+        # Every replica of the process shares its predecessors, so one
+        # representative's base ready rank bounds them all (new replicas
+        # included — they become ready exactly when the base ones did).
+        earliest = ready_rank[self.ft.group_of[process][0]]
+        for iid, priority in moved_priorities.items():
+            base = base_priorities.get(iid)
+            if base is not None and base != priority:
+                changed.add(iid)
+                rank = ready_rank[iid]
+                if rank < earliest:
+                    earliest = rank
+        # Moving a process also changes which nodes *receive* its input
+        # messages, which can create or remove frames of its predecessor
+        # senders (a frame exists only if some receiver is remote).  Those
+        # frames are packed at the sender's placement rank — possibly far
+        # inside the otherwise-unaffected prefix — so a changed frame set
+        # bounds the cone at the sender's placement, not its values.
+        base_index = self.base_index
+        base_out = self.ft._out_bus
+        moved_out = moved_ft._out_bus
+        for message in self.graph.in_messages(process):
+            for src_iid in self.ft.group_of[message.src]:
+                before = base_out.get(src_iid)
+                after = moved_out.get(src_iid)
+                if before is after:
+                    continue
+                if [m.id for m in before or ()] != [m.id for m in after or ()]:
+                    changed.add(src_iid)
+                    rank = base_index[src_iid]
+                    if rank < earliest:
+                        earliest = rank
+        return MoveCone(
+            process=process,
+            earliest_rank=earliest,
+            changed=frozenset(changed),
+        )
+
+    # -- incremental priorities --------------------------------------------
+
+    def _ancestor_instances(self, process: str) -> tuple[str, ...]:
+        """Instances of ``process``'s graph ancestors, descendants first.
+
+        The order is a filtered reversal of the base placement order — a
+        valid topological order of the instance DAG, so each ancestor is
+        visited only after every affected successor.  Replica-count changes
+        on ``process`` never alter *which* processes are its ancestors, so
+        the tuple is cached per process across moves.
+        """
+        cached = self._ancestors.get(process)
+        if cached is None:
+            ancestor_procs: set[str] = set()
+            stack = [process]
+            in_messages = self.graph.in_messages
+            while stack:
+                for message in in_messages(stack.pop()):
+                    src = message.src
+                    if src not in ancestor_procs:
+                        ancestor_procs.add(src)
+                        stack.append(src)
+            group_of = self.ft.group_of
+            member = {
+                iid for proc in ancestor_procs for iid in group_of[proc]
+            }
+            cached = tuple(
+                iid
+                for iid in reversed(self.record.instance_ids)
+                if iid in member
+            )
+            self._ancestors[process] = cached
+        return cached
+
+    def moved_priorities(
+        self, moved_ft: FTGraph, process: str
+    ) -> dict[str, float]:
+        """PCP priorities of the moved design, recomputed incrementally.
+
+        Only the moved process's instances and their ancestors can change
+        priority (a non-ancestor's longest path to a sink never runs
+        through the moved process), so the base mapping is copied and just
+        those entries are recomputed — with the exact arithmetic of
+        :func:`repro.schedule.priorities.pcp_priorities`, so every value is
+        bit-equal to a full recomputation on ``moved_ft``.
+        """
+        priorities = dict(self.priorities)
+        for iid in self.ft.group_of[process]:
+            del priorities[iid]
+        mu = self.faults.mu
+        round_length = self.bus.round_length
+        instances = moved_ft.instances
+        succ_of = moved_ft._succ
+        for iid in (
+            *moved_ft.group_of[process],
+            *self._ancestor_instances(process),
+        ):
+            instance = instances[iid]
+            weight = (
+                instance.wcet * (1 + instance.reexecutions)
+                + instance.reexecutions * mu
+            )
+            best_tail = 0.0
+            for succ in succ_of[iid]:
+                edge = (
+                    round_length
+                    if instances[succ].node != instance.node
+                    else 0.0
+                )
+                tail = edge + priorities[succ]
+                if tail > best_tail:
+                    best_tail = tail
+            priorities[iid] = weight + best_tail
+        return priorities
+
+    # -- delta replay ------------------------------------------------------
+
+    def plan_move(
+        self,
+        policies: PolicyAssignment,
+        mapping: ReplicaMapping,
+        process: str,
+    ) -> tuple[FTGraph, dict[str, float], MoveCone]:
+        """Overlay graph, incremental priorities and impact cone of a move."""
+        ft = ft_graph_with_move(
+            self.ft, self.graph, policies, mapping, self.faults, process
+        )
+        priorities = self.moved_priorities(ft, process)
+        return ft, priorities, self.cone_of(ft, priorities, process)
+
+    def delta_record(
+        self,
+        policies: PolicyAssignment,
+        mapping: ReplicaMapping,
+        process: str,
+    ) -> tuple[ScheduleRecord, DeltaStats]:
+        """Schedule the moved design by replaying against the base.
+
+        ``policies``/``mapping`` must differ from the base implementation
+        only in ``process``.  Returns the sealed record — byte-identical
+        to a cold schedule of the moved design — plus replay statistics.
+        """
+        state, stats = self.delta_schedule(policies, mapping, process)
+        return state.seal(), stats
+
+    def delta_schedule(
+        self,
+        policies: PolicyAssignment,
+        mapping: ReplicaMapping,
+        process: str,
+    ) -> tuple[SchedulerState, DeltaStats]:
+        """Replay the moved design; returns the completed, *unsealed* state.
+
+        Callers that only price a candidate read
+        :meth:`SchedulerState.cost_view` off the returned state and skip
+        sealing entirely; the winner of a neighbourhood is sealed once.
+        """
+        graph = self.graph
+        faults = self.faults
+        ft, priorities, cone = self.plan_move(policies, mapping, process)
+
+        state = SchedulerState(
+            graph, ft, faults, self.bus, priorities=priorities
+        )
+        old_group = self.ft.group_of[process]
+        new_group = ft.group_of[process]
+        cursors: dict[str, int] = {}
+        resumed = 0
+        # Deepest snapshot strictly below the cone: at any rank < earliest
+        # no changed instance is in the heap yet (its base ready rank is
+        # >= earliest), so the base heap/arrays restore verbatim.
+        slot = bisect_right(self._snapshot_ranks, cone.earliest_rank - 1) - 1
+        if slot >= 0:
+            rank, snapshot, pack_counts = self.snapshots[slot]
+            state.restore(snapshot)
+            cursors.update(pack_counts)
+            resumed = rank
+            remaining = state.remaining
+            grew = len(new_group) - len(old_group)
+            if grew:
+                if grew > 0:
+                    # New replicas share the base replicas' predecessors,
+                    # none of which are placed in the prefix (the process
+                    # itself only becomes ready at/after the cone rank) —
+                    # so the pending count transfers verbatim.
+                    seed = remaining[old_group[0]]
+                    for iid in new_group[len(old_group):]:
+                        remaining[iid] = seed
+                else:
+                    for iid in old_group[len(new_group):]:
+                        del remaining[iid]
+                # Each successor's pending count grows by the group delta
+                # exactly once, even when several distinct messages connect
+                # the moved process to the same successor — the instance
+                # DAG dedupes (src, dst) pairs.
+                for dst in {m.dst for m in graph.out_messages(process)}:
+                    for iid in ft.group_of[dst]:
+                        remaining[iid] += grew
+        stats = self._replay(state, ft, cone, cursors, resumed)
+        return state, stats
+
+    def _replay(
+        self,
+        state: SchedulerState,
+        ft: FTGraph,
+        cone: MoveCone,
+        cursors: dict[str, int],
+        resumed: int,
+    ) -> DeltaStats:
+        """Drive ``state`` to completion with base-copy fast paths."""
+        faults = self.faults
+        k = faults.k
+        record = self.record
+        base_ids = record.instance_ids
+        base_index = self.base_index
+        base_finish_rows = record.finish_rows
+        base_root_start = record.root_start
+        base_root_finish = record.root_finish
+        base_wcf = record.wcf
+        base_bindings = record.bindings
+        base_no_recovery = self.no_recovery_rows
+        base_tails = self.trace.tail_rows
+        base_pack = self.trace.pack
+        base_medl = self.medl_by_id
+        chain_pred = self.chain_pred
+        reads = self.reads
+
+        builder = state.builder
+        analyzer = state.analyzer
+        tails = analyzer._tails
+        bus_scheduler = state.bus_scheduler
+        live_medl = bus_scheduler.medl.by_id()
+        ready = state.ready
+        remaining = state.remaining
+        priorities = state.priorities
+        root_finish = state.root_finish
+        no_recovery_rows = state.no_recovery_rows
+        succ_of = ft._succ
+        instances = ft.instances
+        group_of = ft.group_of
+
+        # Instances whose *parameters* changed never copy and keep their
+        # readers dirty; value-dirtiness additionally spreads to any
+        # instance whose recomputed rows differ from the base, and clears
+        # again on convergence.
+        param_dirty = frozenset(
+            set(self.ft.group_of[cone.process]) | set(group_of[cone.process])
+        )
+        dirty_values: set[str] = set(param_dirty)
+        dirty_desc: set[str] = set()
+        pack_dirty: set[str] = set()  # nodes whose pack stream diverged
+
+        copied = 0
+        recomputed = 0
+
+        while ready:
+            _, iid = heappop(ready)
+            instance = instances[iid]
+            node = instance.node
+            base_at = (
+                base_index.get(iid) if iid not in param_dirty else None
+            )
+
+            copy = False
+            if base_at is not None:
+                senders, desc_ids = reads[iid]
+                if dirty_values.isdisjoint(senders) and (
+                    not dirty_desc or dirty_desc.isdisjoint(desc_ids)
+                ):
+                    predecessor = chain_pred[iid]
+                    if predecessor is None:
+                        copy = not builder._chains.get(
+                            builder._node_index.get(node, -1)
+                        )
+                    else:
+                        copy = tails.get(node) == base_tails[predecessor]
+
+            node_id = builder.node_id(node)
+            chain = builder.chain(node_id)
+            if copy:
+                copied += 1
+                kind, source, budget = base_bindings[base_at]
+                if kind == BIND_NODE:
+                    binding = (BIND_NODE, chain[-1], budget)
+                elif kind == BIND_INPUT:
+                    binding = (
+                        BIND_INPUT,
+                        builder.index_of[base_ids[source]],
+                        budget,
+                    )
+                else:
+                    binding = (BIND_RELEASE, -1, budget)
+                finish_row = base_finish_rows[base_at]
+                wcf = base_wcf[base_at]
+                builder.place(
+                    iid,
+                    builder.process_id(instance.process),
+                    node_id,
+                    base_root_start[base_at],
+                    base_root_finish[base_at],
+                    wcf,
+                    finish_row,
+                    binding,
+                )
+                root_finish[iid] = base_root_finish[base_at]
+                no_recovery_rows[iid] = base_no_recovery[iid]
+                tails[node] = base_tails[iid]
+            else:
+                recomputed += 1
+                rel_row, rel_sources = release_row(
+                    ft, iid, faults, root_finish, no_recovery_rows, live_medl
+                )
+                result = analyzer.place(instance, rel_row)
+                if result.dominant == "node" and chain:
+                    binding = (BIND_NODE, chain[-1], result.dominant_budget)
+                else:
+                    source_iid = rel_sources[result.dominant_budget]
+                    if source_iid is None:
+                        binding = (BIND_RELEASE, -1, result.dominant_budget)
+                    else:
+                        binding = (
+                            BIND_INPUT,
+                            builder.index_of[source_iid],
+                            result.dominant_budget,
+                        )
+                finish_row = result.finish_row
+                wcf = result.wcf
+                builder.place(
+                    iid,
+                    builder.process_id(instance.process),
+                    node_id,
+                    result.root_finish - instance.wcet,
+                    result.root_finish,
+                    wcf,
+                    finish_row,
+                    binding,
+                )
+                root_finish[iid] = result.root_finish
+                no_recovery_rows[iid] = result.no_recovery_row
+
+                # Convergence: rows identical to the base make this
+                # instance transparent to its readers again.
+                if base_at is not None:
+                    if (
+                        finish_row == base_finish_rows[base_at]
+                        and result.no_recovery_row == base_no_recovery[iid]
+                        and result.tail_row == base_tails[iid]
+                    ):
+                        dirty_values.discard(iid)
+                    else:
+                        dirty_values.add(iid)
+                elif iid not in param_dirty:
+                    dirty_values.add(iid)
+
+            outgoing = ft.outgoing_bus_messages(iid)
+            if outgoing:
+                reuse_budget = 0
+                for sibling in group_of[instance.process]:
+                    if (
+                        sibling != iid
+                        and sibling in root_finish
+                        and instances[sibling].node == node
+                    ):
+                        reuse_budget += instances[sibling].kill_cost
+                fast_ready = finish_row[
+                    reuse_budget if reuse_budget < k else k
+                ]
+                pack_ok = node not in pack_dirty
+                sequence = base_pack.get(node, ())
+                cursor = cursors.get(node, 0)
+                for bus_message in outgoing:
+                    data_ready = (
+                        fast_ready if bus_message.kind == "fast" else wcf
+                    )
+                    bid = bus_message.id
+                    if (
+                        pack_ok
+                        and cursor < len(sequence)
+                        and sequence[cursor][0] == bid
+                        and sequence[cursor][1] == data_ready
+                    ):
+                        bus_scheduler.copy_descriptor(base_medl[bid])
+                        cursor += 1
+                        continue
+                    if pack_ok:
+                        pack_ok = False
+                        pack_dirty.add(node)
+                    descriptor = bus_scheduler.schedule_message(
+                        bid, node, bus_message.message.size, data_ready
+                    )
+                    # Field-wise divergence check: slot times derive from
+                    # (sender node, round) and the payload size is fixed per
+                    # message, so three fields decide descriptor equality.
+                    base_desc = base_medl.get(bid)
+                    if (
+                        base_desc is None
+                        or base_desc.round_index != descriptor.round_index
+                        or base_desc.offset_bytes != descriptor.offset_bytes
+                        or base_desc.sender_node != descriptor.sender_node
+                    ):
+                        dirty_desc.add(bid)
+                cursors[node] = cursor
+
+            for succ in succ_of[iid]:
+                count = remaining[succ] - 1
+                remaining[succ] = count
+                if count == 0:
+                    heappush(ready, (-priorities[succ], succ))
+
+        return DeltaStats(
+            resumed_rank=resumed, copied=copied, recomputed=recomputed
+        )

@@ -23,34 +23,25 @@ The synthesized configuration is emitted as a compact
 :class:`repro.schedule.record.ScheduleRecord` — flat interned arrays, built
 row by row as instances are placed — and returned wrapped in the lazy
 :class:`repro.schedule.table.SystemSchedule` view.
+
+The scheduling machinery itself lives in :mod:`repro.schedule.state` as the
+snapshotable :class:`~repro.schedule.state.SchedulerState`; this module is
+the one-shot façade (build a state, run it to completion, seal).  The
+incremental kernel in :mod:`repro.schedule.incremental` drives the same
+state machine with snapshot/restore for delta re-scheduling.
 """
 
 from __future__ import annotations
 
-import heapq
-
-from repro.errors import SchedulingError
 from repro.model.application import ProcessGraph
 from repro.model.fault import FaultModel
 from repro.model.ftgraph import FTGraph, build_ft_graph
 from repro.model.mapping import ReplicaMapping
 from repro.model.policy import PolicyAssignment
-from repro.schedule.analysis import (
-    WorstCaseAnalyzer,
-    group_survivor_indices,
-    guaranteed_completion,
-)
-from repro.schedule.priorities import pcp_priorities
-from repro.schedule.record import (
-    BIND_INPUT,
-    BIND_NODE,
-    BIND_RELEASE,
-    RecordBuilder,
-    ScheduleRecord,
-)
+from repro.schedule.record import ScheduleRecord
+from repro.schedule.state import SchedulerState, ScheduleTrace
 from repro.schedule.table import SystemSchedule
 from repro.ttp.bus import BusConfig
-from repro.ttp.schedule import BusScheduler
 
 
 def list_schedule(
@@ -81,312 +72,10 @@ def build_schedule_record(
     ft: FTGraph,
     faults: FaultModel,
     bus: BusConfig,
+    *,
+    trace: ScheduleTrace | None = None,
 ) -> ScheduleRecord:
-    """Run the list scheduler and emit the compact IR directly."""
-    if len(ft) == 0:
-        raise SchedulingError("nothing to schedule: the FT graph is empty")
-
-    priorities = pcp_priorities(ft, bus, faults)
-    analyzer = WorstCaseAnalyzer(faults)
-    bus_scheduler = BusScheduler(bus)
-    k = faults.k
-
-    # Readiness bookkeeping: an instance is ready when all predecessors in
-    # the instance DAG are placed (their bus messages are scheduled at
-    # placement time, so readiness implies known arrival times).
-    succ_of = ft._succ
-    remaining: dict[str, int] = {
-        iid: len(ft._pred[iid]) for iid in ft.instances
-    }
-    ready: list[tuple[float, str]] = [
-        (-priorities[iid], iid) for iid, count in remaining.items() if count == 0
-    ]
-    heapq.heapify(ready)
-
-    builder = RecordBuilder()
-    root_finish: dict[str, float] = {}
-    no_recovery_rows: dict[str, tuple[float, ...]] = {}
-
-    placed_count = 0
-    while ready:
-        _, iid = heapq.heappop(ready)
-        instance = ft.instances[iid]
-        rel_row, rel_sources = _release_row(
-            ft, iid, faults, root_finish, no_recovery_rows, bus_scheduler
-        )
-
-        node = instance.node
-        node_id = builder.node_id(node)
-        chain = builder.chain(node_id)
-
-        result = analyzer.place(instance, rel_row)
-        if result.dominant == "node" and chain:
-            binding = (BIND_NODE, chain[-1], result.dominant_budget)
-        else:
-            source = rel_sources[result.dominant_budget]
-            if source is None:
-                binding = (BIND_RELEASE, -1, result.dominant_budget)
-            else:
-                binding = (
-                    BIND_INPUT,
-                    builder.index_of[source],
-                    result.dominant_budget,
-                )
-        root_start = result.root_finish - instance.wcet
-        builder.place(
-            iid=iid,
-            process_id=builder.process_id(instance.process),
-            node_id=node_id,
-            root_start=root_start,
-            root_finish=result.root_finish,
-            wcf=result.wcf,
-            finish_row=result.finish_row,
-            binding=binding,
-        )
-        root_finish[iid] = result.root_finish
-        no_recovery_rows[iid] = result.no_recovery_row
-        placed_count += 1
-
-        outgoing = ft.outgoing_bus_messages(iid)
-        if outgoing:
-            # Fast frames of replicas depart right after the fault-free
-            # finish (Fig. 4b); masked/guaranteed frames only after the
-            # worst-case finish so recovery stays transparent (Fig. 4a).
-            #
-            # Co-location caveat: killing an *earlier co-located* replica of
-            # the same process both removes that replica's frame and delays
-            # this one (fault reuse).  The fast frame therefore departs only
-            # after the finish under a budget covering those sibling kills,
-            # so the receiver-side marginal cost accounting stays sound.
-            reuse_budget = 0
-            for sibling in ft.group_of[instance.process]:
-                if (
-                    sibling != iid
-                    and sibling in root_finish
-                    and ft.instances[sibling].node == node
-                ):
-                    reuse_budget += ft.instances[sibling].kill_cost
-            fast_ready = result.finish_row[min(reuse_budget, k)]
-            for bus_message in outgoing:
-                data_ready = fast_ready if bus_message.kind == "fast" else result.wcf
-                bus_scheduler.schedule_message(
-                    bus_message_id=bus_message.id,
-                    sender_node=node,
-                    size_bytes=bus_message.message.size,
-                    ready_time=data_ready,
-                )
-
-        for succ in succ_of[iid]:
-            remaining[succ] -= 1
-            if remaining[succ] == 0:
-                heapq.heappush(ready, (-priorities[succ], succ))
-
-    if placed_count != len(ft):
-        unplaced = [iid for iid, count in remaining.items() if count > 0]
-        raise SchedulingError(
-            f"list scheduling left {len(unplaced)} instances unplaced "
-            f"(cycle in the FT graph?): {unplaced[:5]}"
-        )
-
-    return _seal_record(builder, graph, ft, faults, bus_scheduler)
-
-
-def _release_row(
-    ft: FTGraph,
-    iid: str,
-    faults: FaultModel,
-    root_finish: dict[str, float],
-    no_recovery_rows: dict[str, tuple[float, ...]],
-    bus_scheduler: BusScheduler,
-) -> tuple[list[float], list[str | None]]:
-    """Guaranteed release per adversary budget, plus per-budget sources.
-
-    ``rel_row[c]`` is the latest guaranteed availability of all inputs when
-    the adversary may spend ``c`` faults invalidating input messages;
-    ``rel_row[0]`` is the fault-free (root) release.  ``sources[c]`` names
-    the sender instance whose (possibly contingency) arrival dominates at
-    budget ``c`` — the critical-path extraction follows these links — or
-    ``None`` when the release time itself dominates.
-
-    Adversary model (shared upstream delays + per-sender faults)
-    ------------------------------------------------------------
-    A sender replica's frames can be invalidated three ways, and their
-    costs compose differently:
-
-    * **shared delay** — faults that are *not* on the sender itself (its
-      inputs, its node chain) push the sender's no-recovery row past its
-      fast slot's start.  Such delays *correlate*: replicas of a group
-      share predecessors, so one upstream fault may delay every replica
-      past its slot simultaneously.  The model spends a single shared
-      budget ``d`` whose effect applies to **all** senders at once.
-    * **own recoveries** — ``t`` failed attempts on the sender delay it by
-      ``t * (recovery + mu)`` on top of the shared delay.  Faults on
-      distinct instances are disjoint, so these are priced per sender,
-      like (partial) kills.
-    * **kill** — ``kill_cost`` faults on the sender terminate it, removing
-      *all* its frames; the guaranteed twin therefore costs only the
-      *remaining* kills after the fast frame was silenced.
-
-    ``rel_row[c]`` maximizes over every split ``c = d + (c - d)``: given
-    ``d``, each fast frame's silencing price is the cheaper of the own
-    recoveries still needed (0 if the shared delay alone misses the slot)
-    and the outright kill; guaranteed/masked slots lie after the sender's
-    WCF and local inputs are covered by the node DP, so only kills remove
-    them.  The greedy earliest-first argument of
-    :func:`group_survivor_indices` then spends the remaining ``c - d``
-    faults.  Enough replicas carry a guaranteed twin that their combined
-    kill price out-lasts every split's kill budget
-    (``ftgraph._guaranteed_backed``).  Soundness: any concrete <= c fault
-    scenario splits into faults on group senders (covered by the per-
-    sender prices) and faults elsewhere (covered by some ``d``); budget 0
-    reproduces the fault-free fast arrivals exactly.
-    """
-    k = faults.k
-    mu = faults.mu
-    instances = ft.instances
-    instance = instances[iid]
-    node = instance.node
-    medl_by_id = bus_scheduler.medl.by_id()
-
-    def descriptor_for(bus_id: str):
-        try:
-            return medl_by_id[bus_id]
-        except KeyError:
-            raise SchedulingError(
-                f"no MEDL entry for bus message {bus_id!r} while releasing "
-                f"{iid!r} (bus scheduling out of sync with the FT graph)"
-            ) from None
-
-    rel_row = [instance.release] * (k + 1)
-    sources: list[str | None] = [None] * (k + 1)
-
-    for group in ft.inputs_of(iid):
-        # Entries whose price does not depend on the shared delay budget:
-        # local finishes and masked frames fall only with their sender.
-        immune: list[tuple[float, int, str]] = []
-        # Fast senders: (slot_start, slot_end, guaranteed_slot_end | None,
-        # no-recovery row, recovery step, reexecutions, kill_cost, src).
-        fast_senders: list[
-            tuple[float, float, float | None, tuple[float, ...], float, int, int, str]
-        ] = []
-        replicated = len(group.sources) > 1
-        message_name = group.message.name
-        for src_iid in group.sources:
-            src = instances[src_iid]
-            kill_cost = src.kill_cost
-            if src.node == node:
-                # Local input: delays of the local chain are handled by the
-                # node DP, so only the terminal kill removes this entry.
-                immune.append((root_finish[src_iid], kill_cost, src_iid))
-            elif not replicated:
-                # Masked frame: slot lies after the sender's WCF, so within
-                # budget k only a terminal kill (impossible for a sole
-                # replica of a valid policy) removes it.
-                descriptor = descriptor_for(f"{message_name}[{src_iid}]")
-                immune.append((descriptor.slot_end, kill_cost, src_iid))
-            else:
-                fast = descriptor_for(f"{message_name}[{src_iid}]")
-                guaranteed = medl_by_id.get(f"{message_name}[{src_iid}]#g")
-                fast_senders.append(
-                    (
-                        fast.slot_start,
-                        fast.slot_end,
-                        None if guaranteed is None else guaranteed.slot_end,
-                        no_recovery_rows[src_iid],
-                        src.recovery_unit + mu,
-                        src.reexecutions,
-                        kill_cost,
-                        src_iid,
-                    )
-                )
-
-        # Per sender, the fast frame's silencing price at every shared
-        # budget d: own recoveries still needed to miss the slot on top of
-        # the shared delay (beyond reexec only a kill silences).  The
-        # price is non-increasing in d; a branch whose prices all equal
-        # the previous d's is dominated by it (same entries, smaller kill
-        # budget => an earlier survivor), so only the breakpoints where
-        # some price drops need evaluating.
-        fast_costs: list[list[int]] = []
-        breakpoints = {0}
-        for (
-            slot_start, _, _, row, step, reexec, kill_cost, _,
-        ) in fast_senders:
-            threshold = slot_start + 1e-9
-            costs = []
-            for d in range(k + 1):
-                fast_cost = kill_cost
-                delayed = row[d]
-                for t in range(reexec + 1):
-                    if delayed > threshold:
-                        fast_cost = t if t < kill_cost else kill_cost
-                        break
-                    delayed += step
-                costs.append(fast_cost)
-                if d and fast_cost != costs[d - 1]:
-                    breakpoints.add(d)
-            fast_costs.append(costs)
-
-        for d in sorted(breakpoints):
-            entries = list(immune)
-            for costs, (
-                _, slot_end, guaranteed_end, _, _, _, kill_cost, src_iid,
-            ) in zip(fast_costs, fast_senders):
-                fast_cost = costs[d]
-                if fast_cost > 0:
-                    entries.append((slot_end, fast_cost, src_iid))
-                if guaranteed_end is not None:
-                    # A kill removes both frames: after the fast one was
-                    # silenced, the twin costs the remaining kills (0 when
-                    # silencing already was a full kill).
-                    entries.append(
-                        (guaranteed_end, kill_cost - fast_cost, src_iid)
-                    )
-            # Survivors are tracked by *index*: on arrival-time ties a
-            # value lookup would name the first tied sender, which may be
-            # a replica the adversary already killed, corrupting
-            # critical-path extraction.
-            entries.sort()
-            indices = group_survivor_indices(entries, k - d)
-            for c in range(d, k + 1):
-                survivor = entries[indices[c - d]]
-                if survivor[0] > rel_row[c]:
-                    rel_row[c] = survivor[0]
-                    sources[c] = survivor[2]
-    return rel_row, sources
-
-
-def _seal_record(
-    builder: RecordBuilder,
-    graph: ProcessGraph,
-    ft: FTGraph,
-    faults: FaultModel,
-    bus_scheduler: BusScheduler,
-) -> ScheduleRecord:
-    """Derive completions/groups and freeze the builder into the record."""
-    k = faults.k
-    index_of = builder.index_of
-    wcf = builder.wcf
-    n_processes = builder.process_count
-    replicas: list[tuple[int, ...]] = [()] * n_processes
-    completions: list[float] = [0.0] * n_processes
-    deadlines: list[float | None] = [None] * n_processes
-    for process, replica_ids in ft.group_of.items():
-        process_id = builder.process_id(process)
-        indices = tuple(index_of[iid] for iid in replica_ids)
-        replicas[process_id] = indices
-        pairs = [
-            (wcf[index], ft.instances[iid].kill_cost)
-            for index, iid in zip(indices, replica_ids)
-        ]
-        completions[process_id] = guaranteed_completion(pairs, k)
-        deadlines[process_id] = graph.processes[process].deadline
-    medl = bus_scheduler.medl.packed(builder.node_index)
-    return builder.finish(
-        process_replicas=tuple(replicas),
-        completions=tuple(completions),
-        deadlines=tuple(deadlines),
-        medl=medl,
-        k=k,
-        mu=faults.mu,
-    )
+    """Run the list scheduler cold and emit the compact IR directly."""
+    state = SchedulerState(graph, ft, faults, bus, trace=trace)
+    state.run()
+    return state.seal()

@@ -332,6 +332,65 @@ class RecordBuilder:
         self.chain(node_id).append(index)
         return index
 
+    def snapshot(self) -> tuple:
+        """Shallow-copy every accumulator (all elements are immutable).
+
+        Together with :meth:`restore` this lets the incremental scheduler
+        rewind a builder to a placement-rank boundary; one snapshot can
+        seed any number of replays because ``restore`` copies again.
+        """
+        return (
+            list(self._processes),
+            dict(self._process_index),
+            list(self._nodes),
+            dict(self._node_index),
+            list(self.instance_ids),
+            dict(self.index_of),
+            list(self.instance_process),
+            list(self.instance_node),
+            list(self.root_start),
+            list(self.root_finish),
+            list(self.wcf),
+            list(self.finish_rows),
+            list(self.bindings),
+            {node_id: list(chain) for node_id, chain in self._chains.items()},
+        )
+
+    def restore(self, state: tuple) -> None:
+        """Reset to a state captured by :meth:`snapshot`."""
+        (
+            processes,
+            process_index,
+            nodes,
+            node_index,
+            instance_ids,
+            index_of,
+            instance_process,
+            instance_node,
+            root_start,
+            root_finish,
+            wcf,
+            finish_rows,
+            bindings,
+            chains,
+        ) = state
+        self._processes = list(processes)
+        self._process_index = dict(process_index)
+        self._nodes = list(nodes)
+        self._node_index = dict(node_index)
+        self.instance_ids = list(instance_ids)
+        self.index_of = dict(index_of)
+        self.instance_process = list(instance_process)
+        self.instance_node = list(instance_node)
+        self.root_start = list(root_start)
+        self.root_finish = list(root_finish)
+        self.wcf = list(wcf)
+        self.finish_rows = list(finish_rows)
+        self.bindings = list(bindings)
+        self._chains = {
+            node_id: list(chain) for node_id, chain in chains.items()
+        }
+
     def finish(
         self,
         process_replicas: tuple[tuple[int, ...], ...],

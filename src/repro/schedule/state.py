@@ -1,0 +1,564 @@
+"""The list scheduler's mutable core, exposed as a snapshotable state machine.
+
+:class:`SchedulerState` owns every piece of mutable state the fault-tolerant
+list scheduler (paper §5.1, Fig. 6) advances per placement step:
+
+* the ready heap and per-instance predecessor countdowns,
+* the :class:`repro.schedule.record.RecordBuilder` accumulating the flat
+  :class:`~repro.schedule.record.ScheduleRecord` arrays,
+* the worst-case analyzer's per-node chain tails,
+* the bus scheduler's slot fill levels and MEDL,
+* the per-instance ``root_finish`` / ``no_recovery_row`` maps feeding later
+  release computations.
+
+``step()`` places exactly one instance (one iteration of the Fig. 6 loop);
+``run()`` drives the schedule to completion; ``seal()`` freezes the record.
+The split exists for the incremental evaluation kernel
+(:mod:`repro.schedule.incremental`): every field is a flat dict/list over
+immutable values, so :meth:`SchedulerState.snapshot` captures the whole
+machine at a process-rank boundary in O(state) shallow copies and
+:meth:`SchedulerState.restore` rewinds to it, letting a re-schedule resume
+from the deepest prefix unaffected by a design change instead of starting
+cold.  The snapshot contract is documented in DESIGN.md.
+
+With ``trace=ScheduleTrace()`` the state additionally records the per-step
+facts the delta kernel needs to decide, during a later replay, whether an
+instance's base rows can be copied verbatim: the rank at which each instance
+became ready, the fault-reuse budget behind its fast frames, its chain tail
+row, and each node's bus pack sequence.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+from repro.model.application import ProcessGraph
+from repro.model.fault import FaultModel
+from repro.model.ftgraph import FTGraph
+from repro.schedule.analysis import (
+    WorstCaseAnalyzer,
+    group_survivor_indices,
+    guaranteed_completion,
+)
+from repro.schedule.priorities import pcp_priorities
+from repro.schedule.record import (
+    BIND_INPUT,
+    BIND_NODE,
+    BIND_RELEASE,
+    RecordBuilder,
+    ScheduleRecord,
+)
+from repro.ttp.bus import BusConfig
+from repro.ttp.medl import MessageDescriptor
+from repro.ttp.schedule import BusScheduler
+
+
+def release_row(
+    ft: FTGraph,
+    iid: str,
+    faults: FaultModel,
+    root_finish: dict[str, float],
+    no_recovery_rows: dict[str, tuple[float, ...]],
+    medl_by_id: dict[str, MessageDescriptor],
+) -> tuple[list[float], list[str | None]]:
+    """Guaranteed release per adversary budget, plus per-budget sources.
+
+    ``rel_row[c]`` is the latest guaranteed availability of all inputs when
+    the adversary may spend ``c`` faults invalidating input messages;
+    ``rel_row[0]`` is the fault-free (root) release.  ``sources[c]`` names
+    the sender instance whose (possibly contingency) arrival dominates at
+    budget ``c`` — the critical-path extraction follows these links — or
+    ``None`` when the release time itself dominates.
+
+    Adversary model (shared upstream delays + per-sender faults)
+    ------------------------------------------------------------
+    A sender replica's frames can be invalidated three ways, and their
+    costs compose differently:
+
+    * **shared delay** — faults that are *not* on the sender itself (its
+      inputs, its node chain) push the sender's no-recovery row past its
+      fast slot's start.  Such delays *correlate*: replicas of a group
+      share predecessors, so one upstream fault may delay every replica
+      past its slot simultaneously.  The model spends a single shared
+      budget ``d`` whose effect applies to **all** senders at once.
+    * **own recoveries** — ``t`` failed attempts on the sender delay it by
+      ``t * (recovery + mu)`` on top of the shared delay.  Faults on
+      distinct instances are disjoint, so these are priced per sender,
+      like (partial) kills.
+    * **kill** — ``kill_cost`` faults on the sender terminate it, removing
+      *all* its frames; the guaranteed twin therefore costs only the
+      *remaining* kills after the fast frame was silenced.
+
+    ``rel_row[c]`` maximizes over every split ``c = d + (c - d)``: given
+    ``d``, each fast frame's silencing price is the cheaper of the own
+    recoveries still needed (0 if the shared delay alone misses the slot)
+    and the outright kill; guaranteed/masked slots lie after the sender's
+    WCF and local inputs are covered by the node DP, so only kills remove
+    them.  The greedy earliest-first argument of
+    :func:`group_survivor_indices` then spends the remaining ``c - d``
+    faults.  Enough replicas carry a guaranteed twin that their combined
+    kill price out-lasts every split's kill budget
+    (``ftgraph._guaranteed_backed``).  Soundness: any concrete <= c fault
+    scenario splits into faults on group senders (covered by the per-
+    sender prices) and faults elsewhere (covered by some ``d``); budget 0
+    reproduces the fault-free fast arrivals exactly.
+    """
+    k = faults.k
+    mu = faults.mu
+    instances = ft.instances
+    instance = instances[iid]
+    node = instance.node
+
+    rel_row = [instance.release] * (k + 1)
+    sources: list[str | None] = [None] * (k + 1)
+
+    for group in ft.inputs_of(iid):
+        # Entries whose price does not depend on the shared delay budget:
+        # local finishes and masked frames fall only with their sender.
+        immune: list[tuple[float, int, str]] = []
+        # Fast senders: (slot_start, slot_end, guaranteed_slot_end | None,
+        # no-recovery row, recovery step, reexecutions, kill_cost, src).
+        fast_senders: list[
+            tuple[float, float, float | None, tuple[float, ...], float, int, int, str]
+        ] = []
+        frame_ids = group.frame_ids
+        replicated = len(frame_ids) > 1
+        for src_iid, fast_id, guaranteed_id in frame_ids:
+            src = instances[src_iid]
+            kill_cost = src.kill_cost
+            if src.node == node:
+                # Local input: delays of the local chain are handled by the
+                # node DP, so only the terminal kill removes this entry.
+                immune.append((root_finish[src_iid], kill_cost, src_iid))
+                continue
+            try:
+                descriptor = medl_by_id[fast_id]
+            except KeyError:
+                raise SchedulingError(
+                    f"no MEDL entry for bus message {fast_id!r} while "
+                    f"releasing {iid!r} (bus scheduling out of sync with "
+                    f"the FT graph)"
+                ) from None
+            if not replicated:
+                # Masked frame: slot lies after the sender's WCF, so within
+                # budget k only a terminal kill (impossible for a sole
+                # replica of a valid policy) removes it.
+                immune.append((descriptor.slot_end, kill_cost, src_iid))
+            else:
+                guaranteed = medl_by_id.get(guaranteed_id)
+                fast_senders.append(
+                    (
+                        descriptor.slot_start,
+                        descriptor.slot_end,
+                        None if guaranteed is None else guaranteed.slot_end,
+                        no_recovery_rows[src_iid],
+                        src.recovery_unit + mu,
+                        src.reexecutions,
+                        kill_cost,
+                        src_iid,
+                    )
+                )
+
+        if not fast_senders and len(immune) == 1:
+            # Single-source group (the common case): the lone entry survives
+            # every budget (`group_survivor_indices` pins index 0), so the
+            # breakpoint scan below would only rediscover it.
+            arrival, _, src_iid = immune[0]
+            for c in range(k + 1):
+                if arrival > rel_row[c]:
+                    rel_row[c] = arrival
+                    sources[c] = src_iid
+            continue
+
+        # Per sender, the fast frame's silencing price at every shared
+        # budget d: own recoveries still needed to miss the slot on top of
+        # the shared delay (beyond reexec only a kill silences).  The
+        # price is non-increasing in d; a branch whose prices all equal
+        # the previous d's is dominated by it (same entries, smaller kill
+        # budget => an earlier survivor), so only the breakpoints where
+        # some price drops need evaluating.
+        fast_costs: list[list[int]] = []
+        breakpoints = {0}
+        for (
+            slot_start, _, _, row, step, reexec, kill_cost, _,
+        ) in fast_senders:
+            threshold = slot_start + 1e-9
+            costs = []
+            for d in range(k + 1):
+                fast_cost = kill_cost
+                delayed = row[d]
+                for t in range(reexec + 1):
+                    if delayed > threshold:
+                        fast_cost = t if t < kill_cost else kill_cost
+                        break
+                    delayed += step
+                costs.append(fast_cost)
+                if d and fast_cost != costs[d - 1]:
+                    breakpoints.add(d)
+            fast_costs.append(costs)
+
+        for d in sorted(breakpoints):
+            entries = list(immune)
+            for costs, (
+                _, slot_end, guaranteed_end, _, _, _, kill_cost, src_iid,
+            ) in zip(fast_costs, fast_senders):
+                fast_cost = costs[d]
+                if fast_cost > 0:
+                    entries.append((slot_end, fast_cost, src_iid))
+                if guaranteed_end is not None:
+                    # A kill removes both frames: after the fast one was
+                    # silenced, the twin costs the remaining kills (0 when
+                    # silencing already was a full kill).
+                    entries.append(
+                        (guaranteed_end, kill_cost - fast_cost, src_iid)
+                    )
+            # Survivors are tracked by *index*: on arrival-time ties a
+            # value lookup would name the first tied sender, which may be
+            # a replica the adversary already killed, corrupting
+            # critical-path extraction.
+            entries.sort()
+            indices = group_survivor_indices(entries, k - d)
+            for c in range(d, k + 1):
+                survivor = entries[indices[c - d]]
+                if survivor[0] > rel_row[c]:
+                    rel_row[c] = survivor[0]
+                    sources[c] = survivor[2]
+    return rel_row, sources
+
+
+@dataclass(slots=True)
+class ScheduleTrace:
+    """Per-step facts recorded during a full run for later delta replays.
+
+    All maps are keyed by instance id.  ``ready_rank[iid]`` is the earliest
+    placement rank at which ``iid`` could have been popped (0 for roots,
+    otherwise one past the rank of its last-placed predecessor) — the delta
+    kernel's divergence bound rewinds to the minimum ready rank over all
+    affected instances.  ``pack`` holds each node's bus pack sequence as
+    ``(bus_message_id, data_ready)`` pairs in pack order, which is what the
+    replay compares against to reuse a base MEDL descriptor without
+    re-running first-fit.
+    """
+
+    ready_rank: dict[str, int] = field(default_factory=dict)
+    reuse_budget: dict[str, int] = field(default_factory=dict)
+    tail_rows: dict[str, tuple[float, ...]] = field(default_factory=dict)
+    pack: dict[str, list[tuple[str, float]]] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class SchedulerSnapshot:
+    """All mutable scheduler state frozen at one placement-rank boundary.
+
+    Every field is a fresh shallow container over immutable values (floats,
+    tuples, descriptors), so restoring is plain re-copying — no deep
+    structure is shared mutably with the live state.
+    """
+
+    rank: int
+    ready: list[tuple[float, str]]
+    remaining: dict[str, int]
+    tails: dict[str, tuple[float, ...]]
+    bus_used: dict[tuple[str, int], int]
+    medl_by_id: dict[str, MessageDescriptor]
+    root_finish: dict[str, float]
+    no_recovery_rows: dict[str, tuple[float, ...]]
+    builder_state: tuple
+
+
+class SchedulerState:
+    """One in-flight list-scheduling pass as an explicit state machine."""
+
+    __slots__ = (
+        "graph",
+        "ft",
+        "faults",
+        "bus",
+        "priorities",
+        "analyzer",
+        "bus_scheduler",
+        "builder",
+        "ready",
+        "remaining",
+        "root_finish",
+        "no_recovery_rows",
+        "trace",
+        "_succ_of",
+        "_k",
+    )
+
+    def __init__(
+        self,
+        graph: ProcessGraph,
+        ft: FTGraph,
+        faults: FaultModel,
+        bus: BusConfig,
+        *,
+        priorities: dict[str, float] | None = None,
+        trace: ScheduleTrace | None = None,
+    ) -> None:
+        if len(ft) == 0:
+            raise SchedulingError("nothing to schedule: the FT graph is empty")
+        self.graph = graph
+        self.ft = ft
+        self.faults = faults
+        self.bus = bus
+        self.priorities = (
+            pcp_priorities(ft, bus, faults) if priorities is None else priorities
+        )
+        self.analyzer = WorstCaseAnalyzer(faults)
+        self.bus_scheduler = BusScheduler(bus)
+        self.builder = RecordBuilder()
+        self.root_finish = {}
+        self.no_recovery_rows = {}
+        self.trace = trace
+        self._succ_of = ft._succ
+        self._k = faults.k
+
+        # Readiness bookkeeping: an instance is ready when all predecessors
+        # in the instance DAG are placed (their bus messages are scheduled
+        # at placement time, so readiness implies known arrival times).
+        priorities_of = self.priorities
+        self.remaining = {iid: len(ft._pred[iid]) for iid in ft.instances}
+        self.ready = [
+            (-priorities_of[iid], iid)
+            for iid, count in self.remaining.items()
+            if count == 0
+        ]
+        heapq.heapify(self.ready)
+        if trace is not None:
+            for _, iid in self.ready:
+                trace.ready_rank[iid] = 0
+
+    @property
+    def rank(self) -> int:
+        """Number of instances placed so far (= next placement rank)."""
+        return len(self.builder.instance_ids)
+
+    @property
+    def done(self) -> bool:
+        return not self.ready
+
+    def peek(self) -> str | None:
+        """Instance id the next ``step()`` will place (None when done)."""
+        return self.ready[0][1] if self.ready else None
+
+    def step(self) -> str:
+        """Place the highest-priority ready instance; one Fig. 6 iteration."""
+        _, iid = heapq.heappop(self.ready)
+        ft = self.ft
+        instance = ft.instances[iid]
+        rel_row, rel_sources = release_row(
+            ft,
+            iid,
+            self.faults,
+            self.root_finish,
+            self.no_recovery_rows,
+            self.bus_scheduler.medl.by_id(),
+        )
+
+        builder = self.builder
+        node = instance.node
+        node_id = builder.node_id(node)
+        chain = builder.chain(node_id)
+
+        result = self.analyzer.place(instance, rel_row)
+        if result.dominant == "node" and chain:
+            binding = (BIND_NODE, chain[-1], result.dominant_budget)
+        else:
+            source = rel_sources[result.dominant_budget]
+            if source is None:
+                binding = (BIND_RELEASE, -1, result.dominant_budget)
+            else:
+                binding = (
+                    BIND_INPUT,
+                    builder.index_of[source],
+                    result.dominant_budget,
+                )
+        builder.place(
+            iid,
+            builder.process_id(instance.process),
+            node_id,
+            result.root_finish - instance.wcet,
+            result.root_finish,
+            result.wcf,
+            result.finish_row,
+            binding,
+        )
+        self.root_finish[iid] = result.root_finish
+        self.no_recovery_rows[iid] = result.no_recovery_row
+        trace = self.trace
+        if trace is not None:
+            trace.tail_rows[iid] = result.tail_row
+
+        outgoing = ft.outgoing_bus_messages(iid)
+        if outgoing:
+            # Fast frames of replicas depart right after the fault-free
+            # finish (Fig. 4b); masked/guaranteed frames only after the
+            # worst-case finish so recovery stays transparent (Fig. 4a).
+            #
+            # Co-location caveat: killing an *earlier co-located* replica of
+            # the same process both removes that replica's frame and delays
+            # this one (fault reuse).  The fast frame therefore departs only
+            # after the finish under a budget covering those sibling kills,
+            # so the receiver-side marginal cost accounting stays sound.
+            reuse_budget = 0
+            root_finish = self.root_finish
+            for sibling in ft.group_of[instance.process]:
+                if (
+                    sibling != iid
+                    and sibling in root_finish
+                    and ft.instances[sibling].node == node
+                ):
+                    reuse_budget += ft.instances[sibling].kill_cost
+            fast_ready = result.finish_row[min(reuse_budget, self._k)]
+            if trace is not None:
+                trace.reuse_budget[iid] = reuse_budget
+                pack_seq = trace.pack.setdefault(node, [])
+            schedule_message = self.bus_scheduler.schedule_message
+            for bus_message in outgoing:
+                data_ready = (
+                    fast_ready if bus_message.kind == "fast" else result.wcf
+                )
+                schedule_message(
+                    bus_message.id, node, bus_message.message.size, data_ready
+                )
+                if trace is not None:
+                    pack_seq.append((bus_message.id, data_ready))
+
+        remaining = self.remaining
+        ready = self.ready
+        priorities = self.priorities
+        rank_after = len(builder.instance_ids)
+        for succ in self._succ_of[iid]:
+            remaining[succ] -= 1
+            if remaining[succ] == 0:
+                heapq.heappush(ready, (-priorities[succ], succ))
+                if trace is not None:
+                    trace.ready_rank[succ] = rank_after
+        return iid
+
+    def run(self) -> None:
+        """Drive the schedule to completion."""
+        step = self.step
+        while self.ready:
+            step()
+
+    # -- snapshot / restore (incremental kernel) ---------------------------
+
+    def snapshot(self) -> SchedulerSnapshot:
+        """Freeze all mutable state at the current rank (shallow copies)."""
+        bus_used, medl_by_id = self.bus_scheduler.bus_state()
+        return SchedulerSnapshot(
+            rank=self.rank,
+            ready=list(self.ready),
+            remaining=dict(self.remaining),
+            tails=dict(self.analyzer._tails),
+            bus_used=bus_used,
+            medl_by_id=medl_by_id,
+            root_finish=dict(self.root_finish),
+            no_recovery_rows=dict(self.no_recovery_rows),
+            builder_state=self.builder.snapshot(),
+        )
+
+    def restore(self, snapshot: SchedulerSnapshot) -> None:
+        """Rewind to a snapshot taken from *this* configuration.
+
+        The snapshot's containers are copied again on restore, so one
+        snapshot can seed any number of replays.
+        """
+        self.ready = list(snapshot.ready)
+        self.remaining = dict(snapshot.remaining)
+        self.analyzer._tails = dict(snapshot.tails)
+        self.bus_scheduler.restore_bus_state(
+            dict(snapshot.bus_used), dict(snapshot.medl_by_id)
+        )
+        self.root_finish = dict(snapshot.root_finish)
+        self.no_recovery_rows = dict(snapshot.no_recovery_rows)
+        self.builder.restore(snapshot.builder_state)
+
+    # -- sealing ------------------------------------------------------------
+
+    def cost_view(self) -> tuple[float, float]:
+        """``(degree_of_schedulability, makespan)`` without sealing a record.
+
+        Candidate pricing needs only these two floats; sealing (completion
+        derivation *plus* tuple freezing and MEDL packing) is deferred to
+        the winner of a neighbourhood.  Bit-parity contract: completions
+        are derived with the same per-group arithmetic as :meth:`seal` and
+        the degree is summed in process-intern order — the order
+        :meth:`repro.schedule.record.ScheduleRecord.degree_of_schedulability`
+        sums in — so both floats equal the sealed record's exactly.
+        """
+        ft = self.ft
+        if self.rank != len(ft):
+            raise SchedulingError(
+                "cost_view on an incomplete schedule "
+                f"({self.rank}/{len(ft)} instances placed)"
+            )
+        builder = self.builder
+        k = self._k
+        index_of = builder.index_of
+        wcf = builder.wcf
+        instances = ft.instances
+        group_of = ft.group_of
+        graph_processes = self.graph.processes
+        degree = 0.0
+        makespan = 0.0
+        for process in builder._processes:
+            replica_ids = group_of[process]
+            pairs = [
+                (wcf[index_of[iid]], instances[iid].kill_cost)
+                for iid in replica_ids
+            ]
+            completion = guaranteed_completion(pairs, k)
+            if completion > makespan:
+                makespan = completion
+            deadline = graph_processes[process].deadline
+            if deadline is not None:
+                overshoot = completion - deadline
+                if overshoot > 1e-9:
+                    degree += overshoot
+        return degree, makespan
+
+    def seal(self) -> ScheduleRecord:
+        """Derive completions/groups and freeze the builder into the record."""
+        ft = self.ft
+        if self.rank != len(ft):
+            unplaced = [
+                iid for iid, count in self.remaining.items() if count > 0
+            ]
+            raise SchedulingError(
+                f"list scheduling left {len(unplaced)} instances unplaced "
+                f"(cycle in the FT graph?): {unplaced[:5]}"
+            )
+        builder = self.builder
+        k = self._k
+        index_of = builder.index_of
+        wcf = builder.wcf
+        n_processes = builder.process_count
+        replicas: list[tuple[int, ...]] = [()] * n_processes
+        completions: list[float] = [0.0] * n_processes
+        deadlines: list[float | None] = [None] * n_processes
+        graph_processes = self.graph.processes
+        for process, replica_ids in ft.group_of.items():
+            process_id = builder.process_id(process)
+            indices = tuple(index_of[iid] for iid in replica_ids)
+            replicas[process_id] = indices
+            pairs = [
+                (wcf[index], ft.instances[iid].kill_cost)
+                for index, iid in zip(indices, replica_ids)
+            ]
+            completions[process_id] = guaranteed_completion(pairs, k)
+            deadlines[process_id] = graph_processes[process].deadline
+        medl = self.bus_scheduler.medl.packed(builder.node_index)
+        return builder.finish(
+            process_replicas=tuple(replicas),
+            completions=tuple(completions),
+            deadlines=tuple(deadlines),
+            medl=medl,
+            k=k,
+            mu=self.faults.mu,
+        )

@@ -112,6 +112,24 @@ class MEDL:
         """The id -> descriptor mapping (read-only hot-path view)."""
         return self._by_id
 
+    def adopt(self, descriptor: MessageDescriptor) -> None:
+        """Insert a descriptor known to be valid, skipping the dup check.
+
+        Hot path of the delta kernel: re-admits a base schedule's descriptor
+        whose pack decision was proven identical (same sender fill state,
+        same ready time), so re-running first-fit would be pure waste.
+        """
+        self._by_id[descriptor.bus_message_id] = descriptor
+
+    def restore(self, by_id: dict[str, MessageDescriptor]) -> None:
+        """Replace the contents with a previously captured id map.
+
+        Snapshot support for incremental re-scheduling: the caller owns the
+        dict (hands over a copy); descriptors are immutable and shared
+        between the base schedule and its deltas.
+        """
+        self._by_id = by_id
+
     def packed(self, node_index_of: Mapping[str, int]) -> tuple[PackedDescriptor, ...]:
         """All descriptors as packed rows, in scheduling (insertion) order."""
         return tuple(

@@ -5,6 +5,13 @@ the list scheduler: a message from node ``N`` ready at time ``t`` is packed
 into the earliest frame of ``N`` whose slot starts at or after ``t`` and
 which still has payload capacity.  Delivery is at slot end (see
 :mod:`repro.ttp.bus`).
+
+The scheduler's only mutable state is the per-slot payload counter
+``(node, round) -> used bytes`` plus the MEDL it appends to.  Both are flat
+and cheaply copyable, which is what lets the incremental evaluation kernel
+(:mod:`repro.schedule.state`) snapshot and restore bus progress at arbitrary
+placement ranks.  :class:`repro.ttp.frame.Frame` views are *rendered* from
+MEDL descriptors on demand — they are not part of the scheduling state.
 """
 
 from __future__ import annotations
@@ -21,7 +28,11 @@ class BusScheduler:
     def __init__(self, bus: BusConfig) -> None:
         self.bus = bus
         self.medl = MEDL()
-        self._frames: dict[tuple[str, int], Frame] = {}
+        # Payload bytes already packed per (node, round) slot.  First-fit
+        # packing needs nothing else: a message's offset within its frame is
+        # the fill level at pack time, and frame views re-render from the
+        # MEDL descriptors.
+        self._used: dict[tuple[str, int], int] = {}
         # Per-node timing constants hoisted out of the per-message loop: one
         # bus scheduler prices every message of one candidate schedule, so
         # the slot arithmetic must not re-derive them on every call.
@@ -45,39 +56,68 @@ class BusScheduler:
         transparent to other nodes.
         """
         capacity = self._capacities[sender_node]
+        if size_bytes <= 0:
+            raise ConfigurationError("message size must be positive")
         if size_bytes > capacity:
             raise ConfigurationError(
                 f"message {bus_message_id!r} ({size_bytes} B) exceeds the "
                 f"frame capacity of node {sender_node!r} ({capacity} B)"
             )
-        offset = self._offsets[sender_node]
-        round_length = self._round_length
         round_index = self.bus.first_round_at_or_after(sender_node, ready_time)
-        frames = self._frames
+        used = self._used
         while True:
             key = (sender_node, round_index)
-            frame = frames.get(key)
-            if frame is None:
-                frame = Frame(
-                    node=sender_node,
-                    round_index=round_index,
-                    capacity_bytes=capacity,
-                )
-                frames[key] = frame
-            if frame.used_bytes + size_bytes <= capacity:
-                allocation = frame.pack(bus_message_id, size_bytes)
-                slot_start = round_index * round_length + offset
+            fill = used.get(key, 0)
+            if fill + size_bytes <= capacity:
+                used[key] = fill + size_bytes
+                slot_start = round_index * self._round_length + self._offsets[
+                    sender_node
+                ]
                 descriptor = MessageDescriptor(
                     bus_message_id=bus_message_id,
                     sender_node=sender_node,
                     round_index=round_index,
                     slot_start=slot_start,
                     slot_end=slot_start + self._lengths[sender_node],
-                    offset_bytes=allocation.offset_bytes,
+                    offset_bytes=fill,
                     size_bytes=size_bytes,
                 )
                 return self.medl.add(descriptor)
             round_index += 1
+
+    # -- snapshot support (incremental evaluation kernel) -------------------
+
+    def bus_state(self) -> tuple[dict[tuple[str, int], int], dict]:
+        """Copies of the mutable scheduling state (fill levels, MEDL map)."""
+        return dict(self._used), dict(self.medl.by_id())
+
+    def restore_bus_state(
+        self,
+        used: dict[tuple[str, int], int],
+        by_id: dict,
+    ) -> None:
+        """Reset the scheduler to a state captured by :meth:`bus_state`.
+
+        The caller hands over fresh copies; descriptors themselves are
+        immutable and shared.
+        """
+        self._used = used
+        self.medl.restore(by_id)
+
+    def copy_descriptor(self, descriptor: MessageDescriptor) -> None:
+        """Adopt a descriptor from a base schedule without re-packing.
+
+        Only valid when the caller has proven the first-fit decision would
+        come out identical: the sender's fill levels equal the base run's at
+        this point and the message is ready at the same time.  The fill
+        accounting is replayed so later (possibly diverging) packs on the
+        same node still see correct occupancy.
+        """
+        key = (descriptor.sender_node, descriptor.round_index)
+        used = self._used
+        fill = used.get(key, 0)
+        used[key] = fill + descriptor.size_bytes
+        self.medl.adopt(descriptor)
 
     def frames(self) -> list[Frame]:
         """All non-empty frames, ordered by time.

@@ -1,0 +1,177 @@
+"""Golden-parity suite of the delta evaluation kernel.
+
+The kernel's contract (DESIGN.md, "Incremental evaluation kernel") is that
+a delta re-schedule of a moved design is *byte-identical* to a cold full
+pass over the moved design's FT graph — same instance placement order,
+same float arithmetic, same MEDL, same record.  These tests drive random
+cases through random move chains and compare against
+:func:`repro.schedule.list_scheduler.build_schedule_record` field by field,
+plus the two supporting exact-parity contracts the kernel rests on:
+
+* :meth:`EvalContext.moved_priorities` equals a full
+  :func:`~repro.schedule.priorities.pcp_priorities` recomputation on the
+  overlay graph, bit for bit;
+* :meth:`~repro.schedule.state.SchedulerState.cost_view` equals the sealed
+  record's ``(degree_of_schedulability, makespan)``, bit for bit.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.gen.suite import generate_case
+from repro.model.ftgraph import build_ft_graph
+from repro.model.merge import merge_application
+from repro.opt.initial import initial_bus_access, initial_mpa
+from repro.opt.moves import generate_moves
+from repro.schedule.incremental import EvalContext, MoveCone
+from repro.schedule.list_scheduler import build_schedule_record
+from repro.schedule.priorities import pcp_priorities
+
+_SLOW = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _build(n, nodes, k, seed, replicas=None):
+    case = generate_case(n, nodes, k, mu=5.0 if k else 0.0, seed=seed)
+    merged = merge_application(case.application)
+    bus = initial_bus_access(case.application, case.architecture)
+    if replicas is None:
+        impl = initial_mpa(merged, case.architecture, case.faults, bus)
+    else:
+        impl = initial_mpa(
+            merged, case.architecture, case.faults, bus, replicas
+        )
+    return merged, case.faults, bus, impl
+
+
+def _capture(merged, faults, bus, impl):
+    ft = build_ft_graph(merged, impl.policies, impl.mapping, faults)
+    return EvalContext.capture(merged, ft, faults, bus)
+
+
+def _cold_record(merged, faults, bus, impl):
+    ft = build_ft_graph(merged, impl.policies, impl.mapping, faults)
+    return ft, build_schedule_record(merged, ft, faults, bus)
+
+
+@given(
+    n=st.integers(8, 14),
+    nodes=st.integers(2, 3),
+    k=st.integers(0, 3),
+    seed=st.integers(0, 7),
+    picks=st.lists(st.integers(0, 999), min_size=1, max_size=3),
+)
+@_SLOW
+def test_delta_record_byte_identical_along_move_chains(
+    n, nodes, k, seed, picks
+):
+    """Random case, random chain of search moves: delta == cold, bytewise.
+
+    Each step captures the current implementation as the base, applies one
+    randomly chosen neighbourhood move through the delta kernel and
+    compares the sealed record against a cold full pass of the moved
+    design.  ``repr`` equality is the byte-identity check: every field is
+    a flat tuple of str/int/float and float repr is the shortest exact
+    round-trip, so it distinguishes even ``0.0`` from ``-0.0``.
+    """
+    merged, faults, bus, impl = _build(n, nodes, k, seed)
+    for pick in picks:
+        context = _capture(merged, faults, bus, impl)
+        moves = generate_moves(
+            merged, faults, impl, context.record.critical_path(), (1, 2, 3)
+        )
+        if not moves:
+            return
+        move = moves[pick % len(moves)]
+        candidate = move.apply(impl)
+
+        # Incremental priorities: bit-equal to a full recomputation on the
+        # overlay graph.
+        moved_ft, priorities, cone = context.plan_move(
+            candidate.policies, candidate.mapping, move.process
+        )
+        assert priorities == pcp_priorities(moved_ft, bus, faults)
+        assert cone.process == move.process
+        assert 0 <= cone.earliest_rank <= len(context.record)
+
+        # Delta replay: unsealed cost parity, then sealed byte parity.
+        state, stats = context.delta_schedule(
+            candidate.policies, candidate.mapping, move.process
+        )
+        degree, makespan = state.cost_view()
+        delta_rec = state.seal()
+        assert degree == delta_rec.degree_of_schedulability()
+        assert makespan == delta_rec.makespan
+
+        cold_ft, cold_rec = _cold_record(merged, faults, bus, candidate)
+        assert delta_rec == cold_rec
+        assert repr(delta_rec) == repr(cold_rec)
+
+        # Work accounting: resumed prefix + replayed suffix covers the
+        # moved design exactly.
+        assert stats.resumed_rank + stats.scheduled == len(cold_ft)
+        assert stats.copied >= 0 and stats.recomputed >= 0
+
+        impl = candidate  # chain: the moved design becomes the next base
+
+
+def test_delta_record_parity_on_replicated_base():
+    """Deterministic spot check with replicated initial policies.
+
+    Replicas > 1 exercise the fast/guaranteed frame pairs of the MEDL and
+    the group-size transfer logic of the snapshot resume (replica-count
+    moves shrink and grow instance groups).
+    """
+    merged, faults, bus, impl = _build(12, 3, 2, seed=3, replicas=2)
+    context = _capture(merged, faults, bus, impl)
+    moves = generate_moves(
+        merged, faults, impl, context.record.critical_path(), (1, 2, 3)
+    )
+    assert moves
+    for move in moves:
+        candidate = move.apply(impl)
+        delta_rec, stats = context.delta_record(
+            candidate.policies, candidate.mapping, move.process
+        )
+        _, cold_rec = _cold_record(merged, faults, bus, candidate)
+        assert delta_rec == cold_rec
+        assert repr(delta_rec) == repr(cold_rec)
+
+
+def test_move_cone_is_exposed_on_move():
+    """``Move.cone`` mirrors ``EvalContext.plan_move``'s cone."""
+    merged, faults, bus, impl = _build(10, 2, 2, seed=0)
+    context = _capture(merged, faults, bus, impl)
+    moves = generate_moves(
+        merged, faults, impl, context.record.critical_path(), (1, 2)
+    )
+    assert moves
+    for move in moves[:5]:
+        cone = move.cone(context, impl)
+        assert isinstance(cone, MoveCone)
+        candidate = move.apply(impl)
+        _, _, planned = context.plan_move(
+            candidate.policies, candidate.mapping, move.process
+        )
+        assert cone == planned
+        # The moved process's instances (old and new groups) are always
+        # cone seeds.
+        moved_ft = build_ft_graph(
+            merged, candidate.policies, candidate.mapping, faults
+        )
+        assert set(context.ft.group_of[move.process]) <= cone.changed
+        assert set(moved_ft.group_of[move.process]) <= cone.changed
+
+
+def test_capture_record_matches_untraced_cold_pass():
+    """Capturing (traced run + snapshots) does not perturb the schedule."""
+    merged, faults, bus, impl = _build(14, 3, 3, seed=5)
+    context = _capture(merged, faults, bus, impl)
+    _, cold_rec = _cold_record(merged, faults, bus, impl)
+    assert context.record == cold_rec
+    assert repr(context.record) == repr(cold_rec)

@@ -1,0 +1,147 @@
+"""Tests of the evaluator's two-tier surface and its counter contracts.
+
+The consolidated surface (see the module docstring of
+:mod:`repro.opt.evaluator`) promises:
+
+* ``evaluations`` counts *pricings not served by the cache* and always
+  equals ``full_evaluations + delta_evaluations``;
+* realizing a record for an already-priced design is materialization, not
+  evaluation — it moves ``record_rebuilds`` only (or nothing at all when a
+  pending scheduler state is sealed);
+* costs are tier-independent: the delta tier and the full tier price every
+  candidate identically, and realized records are byte-equal.
+"""
+
+from __future__ import annotations
+
+from repro.gen.suite import generate_case
+from repro.model.merge import merge_application
+from repro.opt.evaluator import Evaluator
+from repro.opt.initial import initial_bus_access, initial_mpa
+from repro.opt.moves import generate_moves
+
+
+def _setup(n=12, nodes=2, k=2, seed=1):
+    case = generate_case(n, nodes, k, mu=5.0, seed=seed)
+    merged = merge_application(case.application)
+    bus = initial_bus_access(case.application, case.architecture)
+    impl = initial_mpa(merged, case.architecture, case.faults, bus)
+    return merged, case.faults, impl
+
+
+def _neighbourhood(merged, faults, impl, evaluator):
+    record = evaluator.evaluate_record(impl)[1]
+    moves = generate_moves(
+        merged, faults, impl, record.critical_path(), (1, 2, 3)
+    )
+    assert moves
+    return moves
+
+
+class TestCounters:
+    def test_evaluations_splits_into_full_and_delta(self):
+        merged, faults, impl = _setup()
+        evaluator = Evaluator(merged, faults)
+        moves = _neighbourhood(merged, faults, impl, evaluator)
+        assert evaluator.full_evaluations == 1  # the base record
+        candidates = evaluator.evaluate_many(impl, moves)
+        assert len(candidates) == len(moves)
+        assert evaluator.delta_evaluations == len(moves)
+        assert evaluator.evaluations == (
+            evaluator.full_evaluations + evaluator.delta_evaluations
+        )
+        assert evaluator.record_rebuilds == 0
+
+    def test_repriced_neighbourhood_is_all_cache_hits(self):
+        merged, faults, impl = _setup()
+        evaluator = Evaluator(merged, faults)
+        moves = _neighbourhood(merged, faults, impl, evaluator)
+        first = evaluator.evaluate_many(impl, moves)
+        evaluations = evaluator.evaluations
+        hits = evaluator.cache_hits
+        second = evaluator.evaluate_many(impl, moves)
+        assert evaluator.evaluations == evaluations  # zero new pricings
+        assert evaluator.cache_hits == hits + len(moves)
+        for a, b in zip(first, second):
+            assert a.cost == b.cost
+
+    def test_realize_of_fresh_delta_pricing_is_free(self):
+        """Sealing the pending state is neither an evaluation nor a rebuild."""
+        merged, faults, impl = _setup()
+        evaluator = Evaluator(merged, faults)
+        moves = _neighbourhood(merged, faults, impl, evaluator)
+        candidate = evaluator.evaluate_many(impl, moves)[0]
+        evaluations = evaluator.evaluations
+        record = evaluator.realize(candidate)
+        assert evaluator.evaluations == evaluations
+        assert evaluator.record_rebuilds == 0
+        # Memoized: realizing again returns the same object.
+        assert evaluator.realize(candidate) is record
+        # The cache entry was filled in, so a view request for the same
+        # design reuses the very record object.
+        assert evaluator.schedule(candidate.implementation).record is record
+
+    def test_realize_of_record_less_cache_hit_rebuilds_once(self):
+        merged, faults, impl = _setup()
+        evaluator = Evaluator(merged, faults)
+        moves = _neighbourhood(merged, faults, impl, evaluator)
+        evaluator.evaluate_many(impl, moves)  # prices, stores record-less
+        hit = evaluator.evaluate_many(impl, moves)[0]  # cache hit, no state
+        record = evaluator.realize(hit)
+        assert evaluator.record_rebuilds == 1
+        assert evaluator.realize(hit) is record
+        assert evaluator.schedule(hit.implementation).record is record
+        assert evaluator.record_rebuilds == 1
+
+
+class TestTierParity:
+    def test_delta_and_full_tier_agree(self):
+        merged, faults, impl = _setup()
+        delta_eval = Evaluator(merged, faults, cache=False)
+        full_eval = Evaluator(merged, faults, cache=False, delta=False)
+        moves = _neighbourhood(
+            merged, faults, impl, Evaluator(merged, faults)
+        )
+        priced = delta_eval.evaluate_many(impl, moves)
+        cold = full_eval.evaluate_many(impl, moves)
+        assert delta_eval.delta_evaluations == len(moves)
+        assert full_eval.delta_evaluations == 0
+        assert full_eval.full_evaluations == len(moves)
+        for a, b in zip(priced, cold):
+            assert a.cost == b.cost
+            assert delta_eval.realize(a) == full_eval.realize(b)
+
+    def test_evaluate_delta_matches_cold_candidate_cost(self):
+        merged, faults, impl = _setup()
+        evaluator = Evaluator(merged, faults)
+        moves = _neighbourhood(merged, faults, impl, evaluator)
+        move = moves[0]
+        candidate = evaluator.evaluate_delta(impl, move)
+        cold = Evaluator(merged, faults, cache=False, delta=False)
+        assert candidate.cost == cold.evaluate(move.apply(impl))
+        assert (
+            candidate.implementation.signature()
+            == move.apply(impl).signature()
+        )
+
+    def test_context_is_cached_per_base(self):
+        merged, faults, impl = _setup()
+        evaluator = Evaluator(merged, faults)
+        first = evaluator.context_for(impl)
+        second = evaluator.context_for(impl.copy())
+        assert first is second
+
+
+class TestCacheOffBehaviour:
+    def test_uncached_evaluator_prices_every_request(self):
+        merged, faults, impl = _setup()
+        evaluator = Evaluator(merged, faults, cache=False)
+        moves = _neighbourhood(
+            merged, faults, impl, Evaluator(merged, faults)
+        )
+        evaluator.evaluate_many(impl, moves)
+        evaluator.evaluate_many(impl, moves)
+        assert evaluator.cache_hits == 0
+        assert evaluator.delta_evaluations == 2 * len(moves)
+        info = evaluator.cache_info()
+        assert info.size == 0 and info.bound == 0
