@@ -60,12 +60,15 @@ def bench_stamp() -> dict:
         ).stdout.strip() or None
     except (OSError, subprocess.SubprocessError):
         sha = None
+    import numpy
+
     return {
         "git_sha": sha,
         "generated_at": datetime.now(timezone.utc).isoformat(
             timespec="seconds"
         ),
         "python": platform.python_version(),
+        "numpy": numpy.__version__,
         "platform": platform.platform(),
     }
 

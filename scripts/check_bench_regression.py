@@ -2,11 +2,19 @@
 """Fail CI when the evaluation pipeline gets materially slower.
 
 Compares a freshly measured ``BENCH_scheduler.json`` against the baseline
-committed at ``HEAD`` and exits non-zero when the headline
-``evaluations_per_sec`` dropped by more than the allowed fraction
-(default 30% — generous enough that shared-runner noise never trips it,
-tight enough that an accidental O(n) regression in the delta kernel or
-the scheduler inner loop does).
+committed at ``HEAD`` and exits non-zero when any gated metric dropped by
+more than the allowed fraction (default 30% — generous enough that
+shared-runner noise never trips it, tight enough that an accidental O(n)
+regression in the delta kernel or the scheduler inner loop does).
+
+Gated metrics (dotted paths into the JSON record):
+
+* ``evaluations_per_sec`` — the headline delta-kernel throughput;
+* ``delta.speedup_vs_cold`` — the delta kernel's relative win over cold
+  passes (guards against the *cold* path speeding up while the delta path
+  silently rots, which the absolute headline alone would miss);
+* ``vector.candidates_per_sec`` — the ranking tier's neighbourhood
+  pricing throughput.
 
 Usage (CI runs it right after the smoke benchmark regenerates the file)::
 
@@ -16,8 +24,10 @@ Usage (CI runs it right after the smoke benchmark regenerates the file)::
 The baseline is read from ``git show HEAD:BENCH_scheduler.json`` so the
 working-tree file can be the fresh measurement.  The gate is advisory
 infrastructure, not physics: runs labelled ``perf-regression-expected``
-skip the CI step entirely (see .github/workflows/ci.yml), and a missing
-baseline (first run, shallow clone without the file) passes with a notice.
+skip the CI step entirely (see .github/workflows/ci.yml), a missing
+baseline (first run, shallow clone without the file) passes with a notice,
+and a metric absent from the committed baseline passes with a notice (it
+was introduced by the PR under test).
 """
 
 from __future__ import annotations
@@ -28,7 +38,25 @@ import subprocess
 import sys
 from pathlib import Path
 
-HEADLINE = "evaluations_per_sec"
+#: Dotted paths into BENCH_scheduler.json checked against the baseline.
+GATED_METRICS = (
+    "evaluations_per_sec",
+    "delta.speedup_vs_cold",
+    "vector.candidates_per_sec",
+)
+
+
+def lookup(record: dict, dotted: str) -> float | None:
+    """Resolve a dotted path; ``None`` when any segment is missing."""
+    node = record
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    try:
+        return float(node)
+    except (TypeError, ValueError):
+        return None
 
 
 def baseline_record(repo: Path) -> dict | None:
@@ -62,38 +90,60 @@ def main(argv: list[str] | None = None) -> int:
         "--allowed-drop",
         type=float,
         default=0.30,
-        help="maximum tolerated fractional drop of the headline "
-        "evaluations_per_sec (default: 0.30)",
+        help="maximum tolerated fractional drop of any gated metric "
+        "(default: 0.30)",
     )
     args = parser.parse_args(argv)
 
     current = json.loads(args.current.read_text())
-    measured = float(current[HEADLINE])
 
     baseline = baseline_record(args.current.resolve().parent)
-    if baseline is None or HEADLINE not in baseline:
+    if baseline is None:
         print(
             "perf gate: no committed baseline BENCH_scheduler.json at HEAD "
             "— passing by default"
         )
         return 0
-    committed = float(baseline[HEADLINE])
-    if committed <= 0:
-        print("perf gate: committed baseline is non-positive — skipping")
-        return 0
 
-    floor = committed * (1.0 - args.allowed_drop)
-    verdict = "OK" if measured >= floor else "REGRESSION"
-    print(
-        f"perf gate [{verdict}]: {HEADLINE} measured {measured:.1f} "
-        f"vs committed {committed:.1f} "
-        f"(floor {floor:.1f} = -{args.allowed_drop:.0%}; "
-        f"baseline sha {baseline.get('stamp', {}).get('git_sha', '?')})"
-    )
-    if measured < floor:
+    sha = baseline.get("stamp", {}).get("git_sha", "?")
+    failures = []
+    for metric in GATED_METRICS:
+        measured = lookup(current, metric)
+        committed = lookup(baseline, metric)
+        if measured is None:
+            print(
+                f"perf gate: {metric} missing from the fresh measurement — "
+                "REGRESSION (the benchmark stopped recording it)"
+            )
+            failures.append(metric)
+            continue
+        if committed is None:
+            print(
+                f"perf gate: {metric} not in the committed baseline — "
+                "passing (introduced by this PR)"
+            )
+            continue
+        if committed <= 0:
+            print(
+                f"perf gate: committed {metric} is non-positive — skipping"
+            )
+            continue
+        floor = committed * (1.0 - args.allowed_drop)
+        verdict = "OK" if measured >= floor else "REGRESSION"
+        print(
+            f"perf gate [{verdict}]: {metric} measured {measured:.2f} "
+            f"vs committed {committed:.2f} "
+            f"(floor {floor:.2f} = -{args.allowed_drop:.0%}; "
+            f"baseline sha {sha})"
+        )
+        if measured < floor:
+            failures.append(metric)
+
+    if failures:
         print(
             "The evaluation pipeline is more than "
-            f"{args.allowed_drop:.0%} slower than the committed baseline.\n"
+            f"{args.allowed_drop:.0%} slower than the committed baseline "
+            f"on: {', '.join(failures)}.\n"
             "If the slowdown is intended (heavier analysis, measurement "
             "environment change), either regenerate the committed "
             "BENCH_scheduler.json on the PR or apply the "

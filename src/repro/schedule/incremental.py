@@ -116,6 +116,7 @@ class EvalContext:
         "_root_finish_arr",
         "_ready_rank_arr",
         "_ancestors",
+        "_pricer",
     )
 
     def __init__(
@@ -143,6 +144,7 @@ class EvalContext:
         self.snapshots = snapshots
         self._snapshot_ranks = [rank for rank, _, _ in snapshots]
         self._ancestors: dict[str, tuple[str, ...]] = {}
+        self._pricer = None
 
         ids = record.instance_ids
         self.base_index = {iid: index for index, iid in enumerate(ids)}
@@ -358,6 +360,120 @@ class EvalContext:
             priorities[iid] = weight + best_tail
         return priorities
 
+    def _moved_priorities_batch(
+        self, fts: list[FTGraph], process: str
+    ) -> list[dict[str, float]]:
+        """:meth:`moved_priorities` for many overlays of one process at once.
+
+        All overlays share the ancestor closure and visit order, every
+        ancestor's PCP weight is computed once, and non-parent ancestors —
+        whose successor lists the overlays share with the base by
+        reference — fold their per-overlay tails as ``(G,)`` numpy maxima.
+        Values are bit-equal to the scalar path: float ``max`` is
+        order-independent-exact and the ``edge + priority`` /
+        ``weight + best`` additions are the same float64 ops elementwise.
+        """
+        count = len(fts)
+        mu = self.faults.mu
+        round_length = self.bus.round_length
+        base_priorities = self.priorities
+        base_instances = self.ft.instances
+        old_group = self.ft.group_of[process]
+        parent_processes = {
+            message.src for message in self.graph.in_messages(process)
+        }
+
+        # Per-overlay new-group priorities: group sizes differ per overlay
+        # and successors keep base priorities, so this part stays scalar.
+        group_priorities: list[dict[str, float]] = []
+        for ft in fts:
+            instances = ft.instances
+            succ_of = ft._succ
+            values: dict[str, float] = {}
+            for iid in ft.group_of[process]:
+                instance = instances[iid]
+                weight = (
+                    instance.wcet * (1 + instance.reexecutions)
+                    + instance.reexecutions * mu
+                )
+                best_tail = 0.0
+                for succ in succ_of[iid]:
+                    edge = (
+                        round_length
+                        if instances[succ].node != instance.node
+                        else 0.0
+                    )
+                    tail = edge + base_priorities[succ]
+                    if tail > best_tail:
+                        best_tail = tail
+                values[iid] = weight + best_tail
+            group_priorities.append(values)
+
+        # Ancestors in the cached topological order (descendants first).
+        vectors: dict[str, np.ndarray] = {}
+        for iid in self._ancestor_instances(process):
+            instance = base_instances[iid]
+            weight = (
+                instance.wcet * (1 + instance.reexecutions)
+                + instance.reexecutions * mu
+            )
+            node = instance.node
+            if instance.process not in parent_processes:
+                # Successor list shared with the base by reference: one
+                # scan, vectorized over the overlays.
+                best = np.zeros(count)
+                for succ in self.ft._succ[iid]:
+                    edge = (
+                        round_length
+                        if base_instances[succ].node != node
+                        else 0.0
+                    )
+                    vector = vectors.get(succ)
+                    if vector is None:
+                        np.maximum(
+                            best, edge + base_priorities[succ], out=best
+                        )
+                    else:
+                        np.maximum(best, edge + vector, out=best)
+                vectors[iid] = weight + best
+            else:
+                # Direct parent: its successor list was rebuilt per overlay
+                # (it references the moved group), so fold per overlay.
+                best = np.empty(count)
+                for g, ft in enumerate(fts):
+                    instances = ft.instances
+                    best_tail = 0.0
+                    group_values = group_priorities[g]
+                    for succ in ft._succ[iid]:
+                        edge = (
+                            round_length
+                            if instances[succ].node != node
+                            else 0.0
+                        )
+                        vector = vectors.get(succ)
+                        if vector is not None:
+                            tail = edge + float(vector[g])
+                        else:
+                            value = group_values.get(succ)
+                            if value is None:
+                                value = base_priorities[succ]
+                            tail = edge + value
+                        if tail > best_tail:
+                            best_tail = tail
+                    best[g] = best_tail
+                vectors[iid] = weight + best
+
+        results: list[dict[str, float]] = []
+        for g in range(count):
+            priorities = dict(base_priorities)
+            for iid in old_group:
+                del priorities[iid]
+            priorities.update(group_priorities[g])
+            for iid, vector in vectors.items():
+                priorities[iid] = float(vector[g])
+            results.append(priorities)
+        return results
+
     # -- delta replay ------------------------------------------------------
 
     def plan_move(
@@ -372,6 +488,67 @@ class EvalContext:
         )
         priorities = self.moved_priorities(ft, process)
         return ft, priorities, self.cone_of(ft, priorities, process)
+
+    def plan_moves(
+        self,
+        candidates: list[tuple[PolicyAssignment, ReplicaMapping, str]],
+    ) -> list[tuple[FTGraph, dict[str, float], MoveCone]]:
+        """:meth:`plan_move` for a whole neighbourhood, sharing per-process
+        work: moves of the same process batch their ancestor-closure
+        priority recomputation (:meth:`_moved_priorities_batch`) instead of
+        redoing it per move.  Result order matches ``candidates``; every
+        plan is bit-equal to its scalar :meth:`plan_move` counterpart.
+        """
+        by_process: dict[str, list[int]] = {}
+        for index, (_, _, process) in enumerate(candidates):
+            by_process.setdefault(process, []).append(index)
+        results: list = [None] * len(candidates)
+        for process, indices in by_process.items():
+            fts = [
+                ft_graph_with_move(
+                    self.ft,
+                    self.graph,
+                    candidates[index][0],
+                    candidates[index][1],
+                    self.faults,
+                    process,
+                )
+                for index in indices
+            ]
+            if len(indices) < 4:
+                # Too few moves on this process to amortize the batched
+                # setup; the scalar path is cheaper.
+                for index, ft in zip(indices, fts):
+                    priorities = self.moved_priorities(ft, process)
+                    results[index] = (
+                        ft,
+                        priorities,
+                        self.cone_of(ft, priorities, process),
+                    )
+            else:
+                for index, ft, priorities in zip(
+                    indices, fts, self._moved_priorities_batch(fts, process)
+                ):
+                    results[index] = (
+                        ft,
+                        priorities,
+                        self.cone_of(ft, priorities, process),
+                    )
+        return results
+
+    def pricer(self):
+        """The lazily built vector pricing kernel over this base context.
+
+        Imported on first use: :mod:`repro.schedule.vector` is only needed
+        by the ranking tier, and the import indirection keeps the module
+        graph acyclic.
+        """
+        pricer = self._pricer
+        if pricer is None:
+            from repro.schedule.vector import NeighbourhoodPricer
+
+            pricer = self._pricer = NeighbourhoodPricer(self)
+        return pricer
 
     def delta_record(
         self,
@@ -393,16 +570,23 @@ class EvalContext:
         policies: PolicyAssignment,
         mapping: ReplicaMapping,
         process: str,
+        plan: tuple[FTGraph, dict[str, float], MoveCone] | None = None,
     ) -> tuple[SchedulerState, DeltaStats]:
         """Replay the moved design; returns the completed, *unsealed* state.
 
         Callers that only price a candidate read
         :meth:`SchedulerState.cost_view` off the returned state and skip
         sealing entirely; the winner of a neighbourhood is sealed once.
+        ``plan`` short-circuits the overlay/priorities/cone computation
+        when the caller already planned the move (:meth:`plan_moves`).
         """
         graph = self.graph
         faults = self.faults
-        ft, priorities, cone = self.plan_move(policies, mapping, process)
+        ft, priorities, cone = (
+            self.plan_move(policies, mapping, process)
+            if plan is None
+            else plan
+        )
 
         state = SchedulerState(
             graph, ft, faults, self.bus, priorities=priorities

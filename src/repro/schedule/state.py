@@ -55,6 +55,88 @@ from repro.ttp.medl import MessageDescriptor
 from repro.ttp.schedule import BusScheduler
 
 
+def group_release_inputs(
+    group,
+    node: str,
+    instances,
+    root_finish: dict[str, float],
+    no_recovery_rows: dict[str, tuple[float, ...]],
+    medl_by_id: dict[str, MessageDescriptor],
+    mu: float,
+    owner: str,
+    missing: list | None = None,
+):
+    """Classify one input group's senders for release pricing.
+
+    This is the single source of truth for the local/masked/fast sender
+    classification both release paths share: the scalar :func:`release_row`
+    below and the vectorized kernel in :mod:`repro.schedule.vector` (which
+    additionally prices *hypothetical* receiver nodes against base-schedule
+    mirrors, so classification drift between the two would silently break
+    the vector tier's error bounds).
+
+    Returns ``(immune, fast_senders)``:
+
+    * ``immune`` — ``(arrival, kill_cost, src_iid)`` entries whose price
+      does not depend on the shared delay budget: local finishes and
+      masked frames fall only with their sender.
+    * ``fast_senders`` — ``(slot_start, slot_end, guaranteed_slot_end |
+      None, no_recovery_row, recovery_step, reexecutions, kill_cost,
+      src_iid)`` per replicated remote sender.
+
+    A sender whose fast frame has no MEDL descriptor is an error on the
+    live scheduling path (``missing=None`` raises, bus scheduling out of
+    sync with the FT graph); the vector estimator passes a list instead
+    and receives ``(src_iid, fast_id, guaranteed_id, replicated)`` tuples
+    to price with *estimated* slots (the frame would only exist in the
+    moved design).
+    """
+    immune: list[tuple[float, int, str]] = []
+    fast_senders: list[
+        tuple[float, float, float | None, tuple[float, ...], float, int, int, str]
+    ] = []
+    frame_ids = group.frame_ids
+    replicated = len(frame_ids) > 1
+    for src_iid, fast_id, guaranteed_id in frame_ids:
+        src = instances[src_iid]
+        kill_cost = src.kill_cost
+        if src.node == node:
+            # Local input: delays of the local chain are handled by the
+            # node DP, so only the terminal kill removes this entry.
+            immune.append((root_finish[src_iid], kill_cost, src_iid))
+            continue
+        descriptor = medl_by_id.get(fast_id)
+        if descriptor is None:
+            if missing is None:
+                raise SchedulingError(
+                    f"no MEDL entry for bus message {fast_id!r} while "
+                    f"releasing {owner!r} (bus scheduling out of sync with "
+                    f"the FT graph)"
+                )
+            missing.append((src_iid, fast_id, guaranteed_id, replicated))
+            continue
+        if not replicated:
+            # Masked frame: slot lies after the sender's WCF, so within
+            # budget k only a terminal kill (impossible for a sole
+            # replica of a valid policy) removes it.
+            immune.append((descriptor.slot_end, kill_cost, src_iid))
+        else:
+            guaranteed = medl_by_id.get(guaranteed_id)
+            fast_senders.append(
+                (
+                    descriptor.slot_start,
+                    descriptor.slot_end,
+                    None if guaranteed is None else guaranteed.slot_end,
+                    no_recovery_rows[src_iid],
+                    src.recovery_unit + mu,
+                    src.reexecutions,
+                    kill_cost,
+                    src_iid,
+                )
+            )
+    return immune, fast_senders
+
+
 def release_row(
     ft: FTGraph,
     iid: str,
@@ -115,51 +197,10 @@ def release_row(
     sources: list[str | None] = [None] * (k + 1)
 
     for group in ft.inputs_of(iid):
-        # Entries whose price does not depend on the shared delay budget:
-        # local finishes and masked frames fall only with their sender.
-        immune: list[tuple[float, int, str]] = []
-        # Fast senders: (slot_start, slot_end, guaranteed_slot_end | None,
-        # no-recovery row, recovery step, reexecutions, kill_cost, src).
-        fast_senders: list[
-            tuple[float, float, float | None, tuple[float, ...], float, int, int, str]
-        ] = []
-        frame_ids = group.frame_ids
-        replicated = len(frame_ids) > 1
-        for src_iid, fast_id, guaranteed_id in frame_ids:
-            src = instances[src_iid]
-            kill_cost = src.kill_cost
-            if src.node == node:
-                # Local input: delays of the local chain are handled by the
-                # node DP, so only the terminal kill removes this entry.
-                immune.append((root_finish[src_iid], kill_cost, src_iid))
-                continue
-            try:
-                descriptor = medl_by_id[fast_id]
-            except KeyError:
-                raise SchedulingError(
-                    f"no MEDL entry for bus message {fast_id!r} while "
-                    f"releasing {iid!r} (bus scheduling out of sync with "
-                    f"the FT graph)"
-                ) from None
-            if not replicated:
-                # Masked frame: slot lies after the sender's WCF, so within
-                # budget k only a terminal kill (impossible for a sole
-                # replica of a valid policy) removes it.
-                immune.append((descriptor.slot_end, kill_cost, src_iid))
-            else:
-                guaranteed = medl_by_id.get(guaranteed_id)
-                fast_senders.append(
-                    (
-                        descriptor.slot_start,
-                        descriptor.slot_end,
-                        None if guaranteed is None else guaranteed.slot_end,
-                        no_recovery_rows[src_iid],
-                        src.recovery_unit + mu,
-                        src.reexecutions,
-                        kill_cost,
-                        src_iid,
-                    )
-                )
+        immune, fast_senders = group_release_inputs(
+            group, node, instances, root_finish, no_recovery_rows,
+            medl_by_id, mu, iid,
+        )
 
         if not fast_senders and len(immune) == 1:
             # Single-source group (the common case): the lone entry survives
