@@ -1,33 +1,41 @@
 #!/usr/bin/env python3
-"""Fail CI when the evaluation pipeline gets materially slower.
+"""Fail CI when the evaluation or injection pipeline gets materially slower.
 
-Compares a freshly measured ``BENCH_scheduler.json`` against the baseline
+Compares freshly measured ``BENCH_*.json`` records against the baselines
 committed at ``HEAD`` and exits non-zero when any gated metric dropped by
 more than the allowed fraction (default 30% — generous enough that
 shared-runner noise never trips it, tight enough that an accidental O(n)
-regression in the delta kernel or the scheduler inner loop does).
+regression in the delta kernel, the scheduler inner loop, or the
+scenario simulator does).
 
-Gated metrics (dotted paths into the JSON record):
+Gated metrics (per file, dotted paths into the JSON record):
 
-* ``evaluations_per_sec`` — the headline delta-kernel throughput;
-* ``delta.speedup_vs_cold`` — the delta kernel's relative win over cold
-  passes (guards against the *cold* path speeding up while the delta path
-  silently rots, which the absolute headline alone would miss);
-* ``vector.candidates_per_sec`` — the ranking tier's neighbourhood
-  pricing throughput.
+``BENCH_scheduler.json``
+    * ``evaluations_per_sec`` — the headline delta-kernel throughput;
+    * ``delta.speedup_vs_cold`` — the delta kernel's relative win over
+      cold passes (guards against the *cold* path speeding up while the
+      delta path silently rots, which the absolute headline alone would
+      miss);
+    * ``vector.candidates_per_sec`` — the ranking tier's neighbourhood
+      pricing throughput.
 
-Usage (CI runs it right after the smoke benchmark regenerates the file)::
+``BENCH_inject.json``
+    * ``inject.scenarios_per_sec`` — fault-scenario simulation
+      throughput of the sharded injection sweep (inline tier).
 
-    python scripts/check_bench_regression.py [--current BENCH_scheduler.json]
+Usage (CI runs it right after the smoke benchmarks regenerate the
+files)::
+
+    python scripts/check_bench_regression.py [--root .]
         [--allowed-drop 0.30]
 
-The baseline is read from ``git show HEAD:BENCH_scheduler.json`` so the
-working-tree file can be the fresh measurement.  The gate is advisory
+Baselines are read from ``git show HEAD:<file>`` so the working-tree
+files can be the fresh measurements.  The gate is advisory
 infrastructure, not physics: runs labelled ``perf-regression-expected``
 skip the CI step entirely (see .github/workflows/ci.yml), a missing
-baseline (first run, shallow clone without the file) passes with a notice,
-and a metric absent from the committed baseline passes with a notice (it
-was introduced by the PR under test).
+baseline (first run, shallow clone without the file) passes with a
+notice, and a metric or file absent from the committed baseline passes
+with a notice (it was introduced by the PR under test).
 """
 
 from __future__ import annotations
@@ -38,11 +46,17 @@ import subprocess
 import sys
 from pathlib import Path
 
-#: Dotted paths into BENCH_scheduler.json checked against the baseline.
-GATED_METRICS = (
-    "evaluations_per_sec",
-    "delta.speedup_vs_cold",
-    "vector.candidates_per_sec",
+#: Per benchmark record, the dotted paths checked against the baseline.
+GATED = (
+    (
+        "BENCH_scheduler.json",
+        (
+            "evaluations_per_sec",
+            "delta.speedup_vs_cold",
+            "vector.candidates_per_sec",
+        ),
+    ),
+    ("BENCH_inject.json", ("inject.scenarios_per_sec",)),
 )
 
 
@@ -59,10 +73,10 @@ def lookup(record: dict, dotted: str) -> float | None:
         return None
 
 
-def baseline_record(repo: Path) -> dict | None:
+def baseline_record(repo: Path, filename: str) -> dict | None:
     try:
         out = subprocess.run(
-            ["git", "show", "HEAD:BENCH_scheduler.json"],
+            ["git", "show", f"HEAD:{filename}"],
             capture_output=True,
             text=True,
             cwd=repo,
@@ -78,41 +92,37 @@ def baseline_record(repo: Path) -> dict | None:
         return None
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--current",
-        type=Path,
-        default=Path("BENCH_scheduler.json"),
-        help="freshly measured record (default: BENCH_scheduler.json)",
-    )
-    parser.add_argument(
-        "--allowed-drop",
-        type=float,
-        default=0.30,
-        help="maximum tolerated fractional drop of any gated metric "
-        "(default: 0.30)",
-    )
-    args = parser.parse_args(argv)
-
-    current = json.loads(args.current.read_text())
-
-    baseline = baseline_record(args.current.resolve().parent)
+def check_file(
+    root: Path, filename: str, metrics: tuple[str, ...], allowed_drop: float
+) -> list[str]:
+    """Gate one record; returns the metrics that regressed."""
+    baseline = baseline_record(root, filename)
+    current_path = root / filename
+    if not current_path.exists():
+        if baseline is None:
+            print(f"perf gate: no fresh or committed {filename} — skipping")
+            return []
+        print(
+            f"perf gate: {filename} committed at HEAD but not freshly "
+            "measured — REGRESSION (the benchmark stopped running)"
+        )
+        return [f"{filename} missing"]
+    current = json.loads(current_path.read_text())
     if baseline is None:
         print(
-            "perf gate: no committed baseline BENCH_scheduler.json at HEAD "
-            "— passing by default"
+            f"perf gate: no committed baseline {filename} at HEAD — "
+            "passing by default"
         )
-        return 0
+        return []
 
     sha = baseline.get("stamp", {}).get("git_sha", "?")
     failures = []
-    for metric in GATED_METRICS:
+    for metric in metrics:
         measured = lookup(current, metric)
         committed = lookup(baseline, metric)
         if measured is None:
             print(
-                f"perf gate: {metric} missing from the fresh measurement — "
+                f"perf gate: {metric} missing from the fresh {filename} — "
                 "REGRESSION (the benchmark stopped recording it)"
             )
             failures.append(metric)
@@ -128,25 +138,50 @@ def main(argv: list[str] | None = None) -> int:
                 f"perf gate: committed {metric} is non-positive — skipping"
             )
             continue
-        floor = committed * (1.0 - args.allowed_drop)
+        floor = committed * (1.0 - allowed_drop)
         verdict = "OK" if measured >= floor else "REGRESSION"
         print(
             f"perf gate [{verdict}]: {metric} measured {measured:.2f} "
             f"vs committed {committed:.2f} "
-            f"(floor {floor:.2f} = -{args.allowed_drop:.0%}; "
+            f"(floor {floor:.2f} = -{allowed_drop:.0%}; "
             f"baseline sha {sha})"
         )
         if measured < floor:
             failures.append(metric)
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path("."),
+        help="directory holding the fresh BENCH_*.json records "
+        "(default: current directory; must be inside the repository)",
+    )
+    parser.add_argument(
+        "--allowed-drop",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional drop of any gated metric "
+        "(default: 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    root = args.root.resolve()
+    failures: list[str] = []
+    for filename, metrics in GATED:
+        failures.extend(check_file(root, filename, metrics, args.allowed_drop))
 
     if failures:
         print(
-            "The evaluation pipeline is more than "
+            "The pipeline is more than "
             f"{args.allowed_drop:.0%} slower than the committed baseline "
             f"on: {', '.join(failures)}.\n"
             "If the slowdown is intended (heavier analysis, measurement "
             "environment change), either regenerate the committed "
-            "BENCH_scheduler.json on the PR or apply the "
+            "BENCH_*.json on the PR or apply the "
             "'perf-regression-expected' label to skip this gate."
         )
         return 1

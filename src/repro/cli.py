@@ -193,6 +193,95 @@ def main(argv: list[str] | None = None) -> int:
         "--quiet", action="store_true", help="suppress per-job ack lines"
     )
 
+    inject = subparsers.add_parser(
+        "inject",
+        help=(
+            "sharded fault-injection sweep over the <=k scenario space of "
+            "one optimized schedule (exhaustive / stratified / importance "
+            "tiers, streaming coverage bounds)"
+        ),
+    )
+    inject.add_argument("--processes", type=int, default=12)
+    inject.add_argument("--nodes", type=int, default=2)
+    inject.add_argument("--k", type=int, default=2)
+    inject.add_argument("--mu", type=float, default=5.0)
+    inject.add_argument("--seed", type=int, default=0)
+    inject.add_argument(
+        "--initial",
+        action="store_true",
+        help=(
+            "inject the initial MPA schedule instead of optimizing first "
+            "(fast; used by CI smoke and benchmarks)"
+        ),
+    )
+    inject.add_argument(
+        "--budget",
+        type=_positive_int,
+        default=100_000,
+        help="total scenario budget across all tiers (default 100000)",
+    )
+    inject.add_argument(
+        "--shard-size",
+        type=_positive_int,
+        default=2000,
+        help="scenarios per shard (default 2000)",
+    )
+    inject.add_argument(
+        "--tier",
+        choices=("auto", "exhaustive", "stratified", "importance"),
+        default="auto",
+        help=(
+            "coverage tier: auto enumerates when the space fits the budget "
+            "and falls back to stratified sampling otherwise"
+        ),
+    )
+    inject.add_argument(
+        "--sweep-seed",
+        type=_non_negative_int,
+        default=0,
+        help="master seed of the stratified draws (default 0)",
+    )
+    inject.add_argument(
+        "--alpha",
+        type=_positive_float,
+        default=0.05,
+        help="Clopper-Pearson significance (bound confidence = 1 - alpha)",
+    )
+    inject.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=1,
+        help="local worker processes when driving through --broker",
+    )
+    inject.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the aggregate summary as JSON to PATH",
+    )
+    inject.add_argument(
+        "--broker",
+        default=None,
+        metavar="PATH",
+        help=(
+            "drive shards through a durable SQLite work queue at PATH; "
+            "'ftds worker --broker PATH' daemons on other machines lease "
+            "and execute them next to optimizer jobs"
+        ),
+    )
+    inject.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "with --broker: continue a partial sweep, folding results of "
+            "already-completed shards from the broker instead of "
+            "re-simulating them"
+        ),
+    )
+    inject.add_argument(
+        "--quiet", action="store_true", help="suppress per-shard progress lines"
+    )
+
     validate = subparsers.add_parser(
         "validate", help="optimize one random case and fault-inject the schedule"
     )
@@ -258,6 +347,8 @@ def main(argv: list[str] | None = None) -> int:
         print(format_cruise(run_cruise_experiment()))
     elif args.command == "worker":
         return _run_worker(args)
+    elif args.command == "inject":
+        return _run_inject(args, parser, progress)
     elif args.command == "validate":
         _run_validate(args)
     elif args.command == "gantt":
@@ -292,6 +383,94 @@ def _run_worker(args: argparse.Namespace) -> int:
     print(f"worker {worker.worker_id}: acked {acked} job(s), "
           f"{worker.failed} failure(s)")
     return 0
+
+
+def _run_inject(args: argparse.Namespace, parser, progress) -> int:
+    import json as json_module
+
+    from repro.experiments.reporting import format_inject
+    from repro.inject.driver import run_inject_sweep
+    from repro.inject.importance import importance_scenarios
+    from repro.inject.plan import plan_sweep
+    from repro.inject.space import ScenarioSpace
+    from repro.inject.target import InjectTarget, target_from_optimization
+
+    if args.resume and args.broker is None:
+        parser.error("--resume requires --broker")
+
+    case = generate_case(
+        args.processes, args.nodes, args.k, mu=args.mu, seed=args.seed
+    )
+    if args.initial:
+        from repro.model.merge import merge_application
+        from repro.opt.initial import initial_bus_access, initial_mpa
+        from repro.schedule.list_scheduler import list_schedule
+
+        merged = merge_application(case.application)
+        bus = initial_bus_access(case.application, case.architecture)
+        implementation = initial_mpa(
+            merged, case.architecture, case.faults, bus
+        )
+        schedule = list_schedule(
+            merged, case.faults, implementation.policies,
+            implementation.mapping, bus,
+        )
+        target = InjectTarget(
+            application=case.application,
+            faults=case.faults,
+            implementation=implementation,
+            record=schedule.record,
+            label=f"initial-{args.processes}p{args.nodes}n-k{args.k}",
+        )
+    else:
+        from repro.opt.strategy import optimize
+
+        config = budget_for(args.processes)
+        result = optimize(
+            case.application, case.architecture, case.faults, "MXR", config
+        )
+        target = target_from_optimization(result, case.application)
+
+    context = target.build_context()
+    space = ScenarioSpace.of(context.ft, case.faults.k)
+    ranked = importance_scenarios(target.record, context.ft, case.faults.k)
+    plan = plan_sweep(
+        space,
+        len(ranked),
+        budget=args.budget,
+        shard_size=args.shard_size,
+        seed=args.sweep_seed,
+        tier=args.tier,
+    )
+    print(f"target {target.label}: {plan.describe()}")
+
+    broker = None
+    if args.broker is not None:
+        from repro.queue.sqlite import SqliteBroker
+
+        broker = SqliteBroker(args.broker)
+    try:
+        aggregate, stats = run_inject_sweep(
+            target,
+            plan,
+            broker=broker,
+            resume=args.resume,
+            local_workers=args.jobs if broker is not None else 0,
+            alpha=args.alpha,
+            progress=progress,
+        )
+    finally:
+        if broker is not None:
+            broker.close()
+
+    summary = aggregate.to_dict()
+    if args.json is not None:
+        with open(args.json, "w") as handle:
+            json_module.dump(summary, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    print(stats.summary())
+    print(format_inject(summary))
+    return 0 if summary["ok"] else 1
 
 
 def _optimize_random_case(args):

@@ -46,3 +46,39 @@ def format_cruise(result: CruiseResult) -> str:
     if "NFT" in result.makespans and "MXR" in result.makespans:
         lines.append(f"MXR overhead vs NFT: {result.overhead_pct('MXR'):.1f}%")
     return "\n".join(lines)
+
+
+def format_inject(summary: dict) -> str:
+    """Render one fault-injection sweep aggregate (``InjectAggregate.to_dict``)."""
+    verdict = "PASS" if summary["ok"] else "FAIL"
+    coverage = "complete" if summary["complete"] else "partial"
+    lines = [
+        f"Fault injection: {verdict} ({coverage} sweep, "
+        f"{summary['shards']}/{summary['shards_planned']} shards)",
+        f"  scenarios simulated  {summary['scenarios']:>12}",
+        f"  trials (draws)       {summary['draws']:>12}",
+        f"  violations           {summary['violation_scenarios']:>12}",
+        f"  importance tier      {summary['importance']['scenarios']:>12} "
+        f"scenarios, {summary['importance']['violations']} violations",
+        f"  residual P[violation] <= {summary['residual_upper_bound']:.3e} "
+        f"(confidence {1 - summary['alpha']:.0%}, uniform over the <=k space)",
+        f"  throughput           {summary['scenarios_per_sec']:>12.0f} scenarios/s",
+    ]
+    lines.append("  per-stratum coverage:")
+    for stratum, entry in summary["strata"].items():
+        if entry["mode"] == "exhaustive":
+            detail = f"{entry['covered']}/{entry['size']} enumerated"
+        elif entry["mode"] == "sampled":
+            detail = f"{entry['draws']} draws of {entry['size']}"
+        else:
+            detail = f"uncovered ({entry['size']} scenarios)"
+        lines.append(
+            f"    {stratum} faults: {detail}, {entry['violations']} violations, "
+            f"bound {entry['upper_bound']:.3e}"
+        )
+    for name, exemplar in summary["exemplars"].items():
+        faults = ", ".join(
+            f"{iid}x{count}" for iid, count in exemplar["failures"].items()
+        ) or "fault-free"
+        lines.append(f"  !! {name}: [{faults}] {exemplar['detail']}")
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Sharded fault-injection engine (ROADMAP item 4).
+
+Scales the one-off validation sweeps of :mod:`repro.sim.validate` into a
+first-class workload: the ≤k-fault scenario space of a synthesized
+schedule is deterministically partitioned into disjoint, fingerprinted
+shards (:mod:`repro.inject.partition`), a sampling planner composes
+exhaustive / stratified-random / importance tiers into shard waves
+(:mod:`repro.inject.plan`), shard jobs flow through the distributed
+experiment queue as canonical JSON (:mod:`repro.io.inject_codec`,
+``ftds worker`` executes them next to optimizer jobs), and a streaming
+aggregator folds per-shard results into coverage counts, violation
+exemplars and a Clopper–Pearson bound on the residual violation
+probability (:mod:`repro.inject.aggregate`).
+"""
+
+from repro.inject.aggregate import InjectAggregate, ShardResult
+from repro.inject.partition import ShardSpec, partition_stratum
+from repro.inject.plan import SamplingPlan, plan_sweep
+from repro.inject.space import ScenarioSpace
+from repro.inject.target import InjectTarget
+
+__all__ = [
+    "InjectAggregate",
+    "InjectTarget",
+    "SamplingPlan",
+    "ScenarioSpace",
+    "ShardResult",
+    "ShardSpec",
+    "partition_stratum",
+    "plan_sweep",
+]

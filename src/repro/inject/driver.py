@@ -1,0 +1,256 @@
+"""Injection sweep driver: enqueue shards, attach workers, fold results.
+
+Mirrors the experiment sweep driver (:mod:`repro.queue.driver`) but for
+fault-injection shards, with one structural difference: shard results are
+**folded as they land, in any order** — the streaming aggregate
+(:class:`~repro.inject.aggregate.InjectAggregate`) is order-independent,
+so there is no submission-order result list to reconstruct and no reason
+to stall the fold behind a slow early shard.
+
+Resume semantics match ``ftds sweep --resume``: each shard's durable
+identity is :func:`~repro.inject.partition.shard_fingerprint` (target
+fingerprint × shard coordinates).  Re-driving the same sweep against the
+same broker folds ``done`` shards straight from their stored results
+(checkpoint hits), leaves in-flight shards alone, grants dead shards a
+fresh attempt budget, and refuses a broker holding shards of a
+*different* sweep (orphan fingerprints) before mutating anything.
+
+With ``broker=None`` the sweep runs inline — same plan, same shards,
+same aggregate, no queue, no checkpointing — which is both the
+no-dependency fallback and the reference the distributed path is tested
+against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError, QueueError
+from repro.inject.aggregate import InjectAggregate
+from repro.inject.partition import shard_fingerprint
+from repro.inject.plan import SamplingPlan
+from repro.inject.runner import run_shard
+from repro.inject.target import InjectTarget
+from repro.queue.broker import Broker, DEFAULT_MAX_ATTEMPTS, DONE
+from repro.queue.driver import _spawn_local_workers
+from repro.queue.worker import DEFAULT_LEASE_S
+
+
+@dataclass
+class InjectSweepStats:
+    """Bookkeeping of one driven injection sweep."""
+
+    total: int = 0
+    enqueued: int = 0
+    checkpoint_hits: int = 0  # shards already done at submission
+    reset_dead: int = 0
+    completed: int = 0  # shards folded this invocation (checkpoints included)
+    dead: int = 0
+
+    def summary(self) -> str:
+        parts = [f"{self.completed}/{self.total} shards folded"]
+        if self.checkpoint_hits:
+            parts.append(f"{self.checkpoint_hits} from checkpoint")
+        if self.reset_dead:
+            parts.append(f"{self.reset_dead} dead shards retried")
+        if self.dead:
+            parts.append(f"{self.dead} dead-lettered")
+        return ", ".join(parts)
+
+
+@dataclass
+class InjectSweepPlan:
+    """The enqueue outcome: per-shard identities plus submission stats."""
+
+    plan: SamplingPlan
+    target_fingerprint: str
+    fingerprints: list[str] = field(default_factory=list)
+    stats: InjectSweepStats = field(default_factory=InjectSweepStats)
+
+
+def enqueue_shards(
+    target: InjectTarget,
+    plan: SamplingPlan,
+    broker: Broker,
+    resume: bool = False,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+) -> InjectSweepPlan:
+    """Submit every shard of ``plan`` idempotently (see module docstring)."""
+    from repro.io.inject_codec import encode_shard_job
+
+    if not resume and broker.pending().total > 0:
+        raise ConfigurationError(
+            "broker already holds jobs; pass resume=True (--resume) to "
+            "continue that sweep, or point at a fresh broker path"
+        )
+    target_fp = target.fingerprint()
+    sweep = InjectSweepPlan(plan=plan, target_fingerprint=target_fp)
+    sweep.stats.total = len(plan.shards)
+    sweep.fingerprints = [
+        shard_fingerprint(target_fp, spec) for spec in plan.shards
+    ]
+    known = broker.states()
+    orphans = set(known) - set(sweep.fingerprints)
+    if orphans:
+        # A changed target/budget/seed re-fingerprints every shard; abort
+        # BEFORE enqueueing so the old sweep's shards don't silently keep
+        # burning worker time next to the new ones.
+        raise ConfigurationError(
+            f"broker holds {len(orphans)} job(s) that are not part of this "
+            "sweep; a resumed sweep must use the original target and "
+            "parameters — point changed sweeps at a fresh broker path"
+        )
+    if resume:
+        sweep.stats.reset_dead = broker.reset_dead()
+    target_dict = target.to_dict()
+    for fingerprint, spec in zip(sweep.fingerprints, plan.shards):
+        state = known.get(fingerprint)
+        if state is None:
+            broker.enqueue(
+                fingerprint, encode_shard_job(target_dict, spec), max_attempts
+            )
+            sweep.stats.enqueued += 1
+        elif state == DONE:
+            sweep.stats.checkpoint_hits += 1
+    return sweep
+
+
+def collect_shards(
+    sweep: InjectSweepPlan,
+    broker: Broker,
+    aggregate: InjectAggregate,
+    progress: Callable[[str], None] | None = None,
+    poll_interval_s: float = 0.1,
+    timeout_s: float | None = None,
+    liveness: Callable[[], bool] | None = None,
+) -> InjectSweepStats:
+    """Fold every shard's result into ``aggregate`` as acks land."""
+    from repro.io.inject_codec import decode_shard_result
+
+    stats = sweep.stats
+    waiting = dict(zip(sweep.fingerprints, sweep.plan.shards))
+    total = len(sweep.fingerprints)
+    deadline = None if timeout_s is None else time.monotonic() + timeout_s
+    while waiting:
+        states = broker.states()
+        landed = [fp for fp in waiting if states.get(fp) == DONE]
+        for fingerprint in landed:
+            spec = waiting.pop(fingerprint)
+            result = decode_shard_result(broker.result(fingerprint))
+            aggregate.fold(result)
+            stats.completed += 1
+            if progress is not None:
+                progress(
+                    f"[{stats.completed}/{total}] {spec.describe()} "
+                    f"({result.scenarios} scenarios, "
+                    f"{result.violation_scenarios} violations, "
+                    f"residual<={aggregate.residual_upper_bound():.2e})"
+                )
+        if not waiting:
+            break
+        counts = broker.pending()
+        if counts.unfinished == 0:
+            if broker.dead_letters():
+                _raise_dead_letters(sweep, broker, stats)
+            continue  # final ack raced the states() snapshot; re-poll
+        if liveness is not None and not liveness():
+            raise QueueError(
+                f"all local workers exited with {len(waiting)} shard(s) "
+                "unfinished and no remote workers attached"
+            )
+        if deadline is not None and time.monotonic() > deadline:
+            raise QueueError(
+                f"injection sweep timed out with {len(waiting)} of "
+                f"{total} shard(s) unfinished"
+            )
+        time.sleep(poll_interval_s)
+    return stats
+
+
+def run_inject_sweep(
+    target: InjectTarget,
+    plan: SamplingPlan,
+    broker: Broker | None = None,
+    resume: bool = False,
+    local_workers: int = 0,
+    alpha: float = 0.05,
+    progress: Callable[[str], None] | None = None,
+    lease_s: float = DEFAULT_LEASE_S,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    poll_interval_s: float = 0.1,
+    timeout_s: float | None = None,
+) -> tuple[InjectAggregate, InjectSweepStats]:
+    """Drive one injection sweep and return its folded aggregate.
+
+    ``broker=None`` executes every shard inline in this process (no
+    checkpointing); otherwise shards flow through the broker and
+    ``local_workers`` consumer loops are attached for the duration, the
+    same way ``ftds sweep`` does it.
+    """
+    aggregate = InjectAggregate(plan=plan, alpha=alpha)
+    if broker is None:
+        stats = InjectSweepStats(total=len(plan.shards))
+        target_fp = target.fingerprint()
+        for spec in plan.shards:
+            result = run_shard(target, spec, target_fp)
+            aggregate.fold(result)
+            stats.completed += 1
+            if progress is not None:
+                progress(
+                    f"[{stats.completed}/{stats.total}] {spec.describe()} "
+                    f"({result.scenarios} scenarios, "
+                    f"{result.violation_scenarios} violations)"
+                )
+        return aggregate, stats
+
+    sweep = enqueue_shards(
+        target, plan, broker, resume=resume, max_attempts=max_attempts
+    )
+    if progress is not None and sweep.stats.checkpoint_hits:
+        progress(
+            f"resume: {sweep.stats.checkpoint_hits}/{sweep.stats.total} "
+            "shard(s) already complete (checkpoint hits)"
+        )
+    workers = _spawn_local_workers(broker, local_workers, lease_s, None)
+    try:
+        liveness = None
+        if workers:
+            liveness = lambda: any(w.is_alive() for w in workers)
+        stats = collect_shards(
+            sweep,
+            broker,
+            aggregate,
+            progress=progress,
+            poll_interval_s=poll_interval_s,
+            timeout_s=timeout_s,
+            liveness=liveness,
+        )
+    except BaseException:
+        for worker in workers:
+            worker.join(timeout=1.0)
+        raise
+    for worker in workers:
+        worker.join(timeout=lease_s + 30.0)
+    return aggregate, stats
+
+
+def _raise_dead_letters(
+    sweep: InjectSweepPlan, broker: Broker, stats: InjectSweepStats
+) -> None:
+    """Report dead-lettered shards by coordinates instead of hanging."""
+    by_fingerprint = dict(zip(sweep.fingerprints, sweep.plan.shards))
+    letters = broker.dead_letters()
+    stats.dead = len(letters)
+    details = []
+    for letter in letters[:10]:
+        spec = by_fingerprint.get(letter.fingerprint)
+        label = spec.describe() if spec else letter.fingerprint[:12]
+        details.append(
+            f"{label} (attempts {letter.attempts}): {letter.error}"
+        )
+    raise QueueError(
+        f"injection sweep dead-lettered {len(letters)} shard(s) after "
+        "bounded retries: " + "; ".join(details)
+    )

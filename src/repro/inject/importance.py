@@ -1,0 +1,195 @@
+"""Importance tier: directed scenarios from the adversary structure.
+
+The sampling planner schedules these before any random coverage because
+they are exactly the scenarios the analysis itself identifies as
+worst-case-shaped — if the analytical bound is unsound, it is these that
+break it first (the PR 3 starvation counterexample was a one-fault
+correlated upstream delay of this family).
+
+Two generators feed the tier, both deterministic functions of the target:
+
+* :func:`repro.sim.faults.adversarial_scenarios` — per process, exhaust
+  one replica's re-executions / kill replicas in order (the time- and
+  space-redundancy worst cases of the chain DP).
+* **Correlated-delay probes** — for every receiver with a replicated
+  remote input group, spend ``d`` faults on a *shared upstream ancestor*
+  of the sender replicas (one upstream fault delays every replica toward
+  its fast-frame slot simultaneously — the adversary the shared-budget
+  model of ``schedule/analysis.py`` prices through the per-sender
+  no-recovery rows) and the remaining budget on the senders themselves,
+  tightest slot first.
+
+Probes are ranked by **slack**: the margin between each sender's fast
+MEDL slot start and its delayed worst-case finish, read from the
+record's per-budget finish rows (``finish_rows[d]`` upper-bounds the
+analysis's no-recovery arrival under ``d`` shared faults, so small slack
+⇒ the slot is plausibly missable ⇒ the scenario is scheduled earlier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.ftgraph import FTGraph
+from repro.schedule.record import ScheduleRecord
+from repro.sim.faults import FaultScenario, adversarial_scenarios
+from repro.inject.space import scenario_key
+
+#: Upper bound on generated importance scenarios; directed probes beyond
+#: this add little (the tail repeats near-duplicate sender splits).
+DEFAULT_IMPORTANCE_CAP = 4096
+
+
+@dataclass(frozen=True)
+class RankedScenario:
+    """One importance-tier scenario with its priority weight."""
+
+    scenario: FaultScenario
+    weight: float  # larger = scheduled earlier
+    origin: str  # "adversarial" or "correlated"
+
+
+def _fast_slot_starts(record: ScheduleRecord, ft: FTGraph) -> dict[str, float]:
+    """Per sender instance, the earliest MEDL slot start of its frames.
+
+    The *fast* frame is the earliest slot a sender transmits in; missing
+    it is what invalidates a replica's contribution to its group.
+    """
+    slot_by_message: dict[str, float] = {}
+    for descriptor in record.medl:
+        message_id, _, _, slot_start, _, _, _ = descriptor
+        current = slot_by_message.get(message_id)
+        if current is None or slot_start < current:
+            slot_by_message[message_id] = slot_start
+    starts: dict[str, float] = {}
+    for iid in ft.instances:
+        for bus_message in ft.outgoing_bus_messages(iid):
+            slot = slot_by_message.get(bus_message.id)
+            if slot is None:
+                continue
+            current = starts.get(iid)
+            if current is None or slot < current:
+                starts[iid] = slot
+    return starts
+
+
+def _shared_ancestors(ft: FTGraph, senders: tuple[str, ...]) -> list[str]:
+    """Instances upstream of at least two of ``senders`` (sorted).
+
+    Faults on these delay several replicas of the group at once — the
+    correlated-delay channel the shared-budget analysis prices.
+    """
+    counts: dict[str, int] = {}
+    for sender in senders:
+        seen: set[str] = set()
+        frontier = list(ft.predecessors(sender))
+        while frontier:
+            iid = frontier.pop()
+            if iid in seen:
+                continue
+            seen.add(iid)
+            frontier.extend(ft.predecessors(iid))
+        for iid in seen:
+            counts[iid] = counts.get(iid, 0) + 1
+    return sorted(iid for iid, n in counts.items() if n >= 2)
+
+
+def importance_scenarios(
+    record: ScheduleRecord,
+    ft: FTGraph,
+    k: int,
+    cap: int = DEFAULT_IMPORTANCE_CAP,
+) -> list[FaultScenario]:
+    """The deterministic, ranked importance list of one target.
+
+    Weights order the list (descending, ties broken by scenario key for
+    cross-process stability); the returned scenarios are deduplicated by
+    failure-map fingerprint.  Every scenario spends at most ``k`` faults.
+    """
+    index_of = {iid: i for i, iid in enumerate(record.instance_ids)}
+    slot_starts = _fast_slot_starts(record, ft)
+
+    def delayed_finish(iid: str, budget: int) -> float:
+        index = index_of.get(iid)
+        if index is None:
+            return 0.0
+        row = record.finish_rows[index]
+        return row[min(budget, len(row) - 1)]
+
+    ranked: list[RankedScenario] = []
+
+    # Tier seed: the analytical worst cases, highest weight — these are
+    # free (no search) and directly probe the chain DP.
+    for scenario in adversarial_scenarios(ft, k):
+        ranked.append(
+            RankedScenario(scenario=scenario, weight=float("inf"),
+                           origin="adversarial")
+        )
+
+    # Correlated-delay probes per replicated remote input group.
+    for receiver, groups in sorted(ft.inputs.items()):
+        for group in groups:
+            senders = tuple(sorted(group.sources))
+            if len(senders) < 2:
+                continue
+            remote = [
+                s for s in senders
+                if ft.instance(s).node != ft.instance(receiver).node
+            ]
+            if not remote:
+                continue
+            ancestors = _shared_ancestors(ft, senders)
+            for ancestor in ancestors:
+                anc = ft.instance(ancestor)
+                max_d = min(k, anc.reexecutions + 1)
+                for d in range(1, max_d + 1):
+                    failures = {ancestor: d}
+                    budget = k - d
+                    # Rank senders tightest-slot-first under the shared
+                    # delay d; spend the rest of the budget on their own
+                    # recoveries in that order.
+                    slacks = []
+                    for sender in remote:
+                        slot = slot_starts.get(sender)
+                        if slot is None:
+                            continue
+                        slack = slot - delayed_finish(sender, d)
+                        slacks.append((slack, sender))
+                    slacks.sort()
+                    for slack, sender in slacks:
+                        if budget <= 0:
+                            break
+                        if sender == ancestor:
+                            continue
+                        spend = min(
+                            budget, ft.instance(sender).reexecutions + 1
+                        )
+                        if spend > 0:
+                            failures[sender] = spend
+                            budget -= spend
+                    scenario = FaultScenario(failures=failures)
+                    if scenario.total_faults == 0 or scenario.total_faults > k:
+                        continue
+                    weight = -min(
+                        (s for s, _ in slacks), default=float("inf")
+                    )
+                    ranked.append(
+                        RankedScenario(
+                            scenario=scenario,
+                            weight=weight,
+                            origin="correlated",
+                        )
+                    )
+
+    # Deduplicate by fingerprint keeping the best weight, then order by
+    # (weight desc, key asc) — a total order identical in every process.
+    best: dict[str, RankedScenario] = {}
+    for entry in ranked:
+        key = scenario_key(entry.scenario.failures)
+        current = best.get(key)
+        if current is None or entry.weight > current.weight:
+            best[key] = entry
+    ordered = sorted(
+        best.items(), key=lambda item: (-item[1].weight, item[0])
+    )
+    return [entry.scenario for _, entry in ordered[:cap]]

@@ -1,0 +1,170 @@
+"""Sampling planner: compose tiers into an ordered shard list.
+
+Given a scenario budget, the planner decides *where* simulation effort
+goes and emits the shard waves the driver enqueues:
+
+* **wave 0 — importance**: the directed adversary list of
+  :mod:`repro.inject.importance`, sharded in rank order.  Always first:
+  if the analysis is unsound, these scenarios are the cheapest way to
+  find out (game-theoretic posture — play the adversary's best moves
+  before rolling dice).
+* **coverage waves — exhaustive or stratified**, one wave per
+  fault-count stratum, ascending:
+
+  - when the whole ≤k space fits the remaining budget (or the caller
+    forces ``tier="exhaustive"``), every stratum is enumerated — the
+    sweep is a *proof* over the space, no residual bound needed;
+  - otherwise strata small enough to afford are enumerated outright and
+    the rest are covered by stratified-random draws, allocated to the
+    remaining strata proportionally to their size (each draw is an
+    i.i.d. uniform pick within its stratum, which is what makes the
+    per-stratum Clopper–Pearson bound of the aggregator valid).
+
+Planning is a pure function of ``(space, importance_count, budget,
+shard_size, seed, tier)`` — a resumed driver re-plans and lands on
+byte-identical shard fingerprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.inject.partition import (
+    ShardSpec,
+    TIER_IMPORTANCE,
+    partition_draws,
+    partition_stratum,
+)
+from repro.inject.space import ScenarioSpace
+
+#: Coverage-tier choices accepted by :func:`plan_sweep`.
+PLAN_TIERS = ("auto", "exhaustive", "stratified", "importance")
+
+#: Per-stratum coverage modes recorded in the plan (aggregation semantics).
+MODE_EXHAUSTIVE = "exhaustive"
+MODE_SAMPLED = "sampled"
+MODE_NONE = "none"
+
+
+@dataclass
+class SamplingPlan:
+    """The full shard list of one sweep plus its coverage semantics."""
+
+    tier: str
+    budget: int
+    shard_size: int
+    seed: int
+    stratum_sizes: tuple[int, ...]
+    importance_count: int
+    shards: list[ShardSpec] = field(default_factory=list)
+    #: stratum -> MODE_* (how the aggregator must interpret coverage).
+    modes: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def total_scenarios(self) -> int:
+        """Scenario budget actually scheduled across all shards."""
+        return sum(shard.scenario_budget for shard in self.shards)
+
+    @property
+    def space_size(self) -> int:
+        return sum(self.stratum_sizes)
+
+    def describe(self) -> str:
+        waves = max((s.wave for s in self.shards), default=0) + 1
+        return (
+            f"{len(self.shards)} shard(s) in {waves} wave(s): "
+            f"{self.importance_count} importance + "
+            f"{self.total_scenarios - self.importance_count} coverage "
+            f"scenarios over a {self.space_size}-scenario space "
+            f"(k={len(self.stratum_sizes) - 1}, tier={self.tier})"
+        )
+
+
+def plan_sweep(
+    space: ScenarioSpace,
+    importance_count: int,
+    budget: int,
+    shard_size: int = 2000,
+    seed: int = 0,
+    tier: str = "auto",
+) -> SamplingPlan:
+    """Shard one sweep; see the module docstring for the tier policy."""
+    if tier not in PLAN_TIERS:
+        raise SimulationError(
+            f"unknown sampling tier {tier!r} (choose from {PLAN_TIERS})"
+        )
+    if budget < 1:
+        raise SimulationError(f"scenario budget must be >= 1, got {budget}")
+    if shard_size < 1:
+        raise SimulationError(f"shard size must be >= 1, got {shard_size}")
+
+    sizes = tuple(space.stratum_size(t) for t in range(space.k + 1))
+    plan = SamplingPlan(
+        tier=tier,
+        budget=budget,
+        shard_size=shard_size,
+        seed=seed,
+        stratum_sizes=sizes,
+        importance_count=min(importance_count, budget),
+        modes={t: MODE_NONE for t in range(space.k + 1)},
+    )
+
+    # Wave 0: the importance list, in rank order.
+    for lo in range(0, plan.importance_count, shard_size):
+        hi = min(lo + shard_size, plan.importance_count)
+        plan.shards.append(
+            ShardSpec(
+                tier=TIER_IMPORTANCE, wave=0, stratum=None,
+                lo=lo, hi=hi, draws=hi - lo, seed=seed,
+            )
+        )
+    if tier == "importance":
+        return plan
+
+    remaining = budget - plan.importance_count
+    exhaustive = tier == "exhaustive" or (
+        tier == "auto" and space.total <= remaining
+    )
+
+    if exhaustive:
+        for t in range(space.k + 1):
+            plan.modes[t] = MODE_EXHAUSTIVE
+            plan.shards.extend(
+                partition_stratum(sizes[t], shard_size, t, wave=1 + t,
+                                  seed=seed)
+            )
+        return plan
+
+    # Stratified coverage: enumerate strata that fit their fair share of
+    # the pool (smallest first, so the fault-free stratum and thin
+    # high-k strata become exact), sample the rest proportionally.
+    order = sorted(range(space.k + 1), key=lambda t: (sizes[t], t))
+    pool = remaining
+    sampled: list[int] = []
+    for position, t in enumerate(order):
+        left = len(order) - position
+        fair = pool // left if left else 0
+        if sizes[t] <= fair:
+            plan.modes[t] = MODE_EXHAUSTIVE
+            plan.shards.extend(
+                partition_stratum(sizes[t], shard_size, t, wave=1 + t,
+                                  seed=seed)
+            )
+            pool -= sizes[t]
+        else:
+            sampled.append(t)
+    sampled_total = sum(sizes[t] for t in sampled)
+    for t in sorted(sampled):
+        if pool <= 0 or sampled_total <= 0:
+            break
+        draws = max(1, pool * sizes[t] // sampled_total)
+        draws = min(draws, pool)
+        plan.modes[t] = MODE_SAMPLED
+        plan.shards.extend(
+            partition_draws(draws, shard_size, t, wave=1 + t, seed=seed)
+        )
+        pool -= draws
+        sampled_total -= sizes[t]
+    plan.shards.sort(key=lambda s: (s.wave, s.stratum or 0, s.lo))
+    return plan

@@ -1,0 +1,152 @@
+"""Shard execution: materialize, simulate, classify, summarize.
+
+A shard never travels with scenarios — only coordinates.  The runner
+re-materializes them locally (rank/unrank for range shards, seeded RNG
+for stratified draws, the deterministic importance list for wave 0),
+feeds them through the target's cached simulator and folds every
+violation into a compact :class:`~repro.inject.aggregate.ShardResult`.
+
+Stratified shards simulate each *distinct* drawn scenario once but count
+violations per draw: the draws are the i.i.d. Bernoulli trials the
+Clopper–Pearson bound needs, the dedup is just compute savings.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import Counter
+
+from repro.errors import SimulationError
+from repro.inject.aggregate import Exemplar, ShardResult
+from repro.inject.importance import importance_scenarios
+from repro.inject.partition import (
+    ShardSpec,
+    TIER_EXHAUSTIVE,
+    TIER_IMPORTANCE,
+    TIER_STRATIFIED,
+    shard_fingerprint,
+)
+from repro.inject.space import ScenarioSpace
+from repro.inject.target import InjectContext, InjectTarget, cached_context
+from repro.sim.faults import FaultScenario
+from repro.sim.validate import check_scenario
+
+#: Per-fingerprint (space, importance list) caches — derived from the
+#: target exactly like the replay context, shared across a sweep's shards.
+_SPACE_CACHE: dict[str, ScenarioSpace] = {}
+_IMPORTANCE_CACHE: dict[str, list[FaultScenario]] = {}
+_DERIVED_CACHE_LIMIT = 4
+
+
+def _cache_put(cache: dict, key: str, value) -> None:
+    if len(cache) >= _DERIVED_CACHE_LIMIT:
+        cache.pop(next(iter(cache)))
+    cache[key] = value
+
+
+def _space_of(context: InjectContext, target: InjectTarget,
+              fingerprint: str) -> ScenarioSpace:
+    space = _SPACE_CACHE.get(fingerprint)
+    if space is None:
+        space = ScenarioSpace.of(context.ft, target.faults.k)
+        _cache_put(_SPACE_CACHE, fingerprint, space)
+    return space
+
+
+def _importance_of(context: InjectContext, target: InjectTarget,
+                   fingerprint: str) -> list[FaultScenario]:
+    scenarios = _IMPORTANCE_CACHE.get(fingerprint)
+    if scenarios is None:
+        scenarios = importance_scenarios(
+            target.record, context.ft, target.faults.k
+        )
+        _cache_put(_IMPORTANCE_CACHE, fingerprint, scenarios)
+    return scenarios
+
+
+def run_shard(
+    target: InjectTarget,
+    spec: ShardSpec,
+    target_fp: str | None = None,
+) -> ShardResult:
+    """Execute one shard against its target and summarize the outcome."""
+    fingerprint = target_fp or target.fingerprint()
+    context = cached_context(target, fingerprint)
+    started = time.perf_counter()
+
+    # (scenario, draw multiplicity, offset of first draw) in shard order.
+    trials: list[tuple[FaultScenario, int, int]]
+    if spec.tier == TIER_EXHAUSTIVE:
+        space = _space_of(context, target, fingerprint)
+        trials = [
+            (space.scenario(counts), 1, offset)
+            for offset, counts in enumerate(
+                space.iter_range(spec.stratum, spec.lo, spec.hi)
+            )
+        ]
+    elif spec.tier == TIER_STRATIFIED:
+        space = _space_of(context, target, fingerprint)
+        size = space.stratum_size(spec.stratum)
+        rng = random.Random(spec.rng_label())
+        first_offset: dict[int, int] = {}
+        multiplicity: Counter[int] = Counter()
+        for offset in range(spec.draws):
+            index = rng.randrange(size)
+            multiplicity[index] += 1
+            first_offset.setdefault(index, offset)
+        trials = [
+            (
+                space.scenario(space.unrank(spec.stratum, index)),
+                multiplicity[index],
+                first_offset[index],
+            )
+            for index in sorted(first_offset, key=first_offset.get)
+        ]
+    elif spec.tier == TIER_IMPORTANCE:
+        ranked = _importance_of(context, target, fingerprint)
+        if spec.hi > len(ranked):
+            raise SimulationError(
+                f"importance shard [{spec.lo}, {spec.hi}) exceeds the "
+                f"{len(ranked)}-scenario importance list (planner and "
+                "worker disagree on the target)"
+            )
+        trials = [
+            (scenario, 1, offset)
+            for offset, scenario in enumerate(ranked[spec.lo:spec.hi])
+        ]
+    else:  # pragma: no cover - ShardSpec validates tiers
+        raise SimulationError(f"unknown shard tier {spec.tier!r}")
+
+    stratum_key = spec.stratum if spec.stratum is not None else -1
+    result = ShardResult(
+        fingerprint=shard_fingerprint(fingerprint, spec),
+        spec=spec,
+        scenarios=0,
+        draws=0,
+        violation_draws=0,
+        violation_scenarios=0,
+    )
+    for scenario, draws, offset in trials:
+        result.scenarios += 1
+        result.draws += draws
+        violations = check_scenario(context.simulator, scenario)
+        if not violations:
+            continue
+        result.violation_scenarios += 1
+        result.violation_draws += draws
+        order = (spec.wave, stratum_key, spec.lo, offset)
+        for violation in violations:
+            result.class_counts[violation.kind] = (
+                result.class_counts.get(violation.kind, 0) + 1
+            )
+            current = result.exemplars.get(violation.kind)
+            if current is None or order < current.order:
+                result.exemplars[violation.kind] = Exemplar(
+                    order=order,
+                    failures=dict(scenario.failures),
+                    subject=violation.subject,
+                    detail=violation.detail,
+                )
+    result.elapsed_s = time.perf_counter() - started
+    return result

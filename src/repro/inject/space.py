@@ -1,0 +1,217 @@
+"""Canonical indexing of the ≤k-fault scenario space.
+
+A fault scenario over an FT graph is a vector ``(f_0 … f_{n-1})`` of
+failed-attempt counts, one entry per instance in sorted-id order, with
+``0 <= f_i <= cap_i`` (``cap_i = reexecutions + 1``, beyond which there is
+nothing left to hit) — exactly the space
+:func:`repro.sim.faults.enumerate_scenarios` walks.  This module gives
+that space *random access*:
+
+* the scenarios with exactly ``t`` total faults form **stratum** ``t``,
+  whose size is computed exactly by a suffix-count DP;
+* within a stratum, scenarios are ordered lexicographically by their
+  count vector (the same order the recursive enumerator yields), and a
+  rank/unrank bijection maps ``[0, size_t)`` onto them;
+* any contiguous index range of a stratum can be materialized without
+  touching the rest of the space (unrank the first index, then step a
+  bounded-composition successor), which is what makes disjoint shards
+  independently executable on any worker.
+
+Everything here is a pure function of the sorted ``(instance id,
+capacity)`` list, so two processes that agree on the FT graph agree on
+every index — the foundation of the partitioner's determinism contract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import SimulationError
+from repro.model.ftgraph import FTGraph
+from repro.sim.faults import FaultScenario
+
+
+def scenario_key(failures: Mapping[str, int]) -> str:
+    """Canonical text fingerprint of one failure map.
+
+    Sorted ``iid:count`` pairs, zero counts dropped — two scenarios are
+    the same iff their keys are equal, which is what the samplers dedupe
+    on and the aggregator classifies exemplars by.
+    """
+    items = sorted((iid, n) for iid, n in failures.items() if n > 0)
+    return ";".join(f"{iid}:{n}" for iid, n in items) or "-"
+
+
+class ScenarioSpace:
+    """Rank/unrank view of the ≤k-fault scenarios of one FT graph."""
+
+    def __init__(self, capacities: Sequence[tuple[str, int]], k: int) -> None:
+        if k < 0:
+            raise SimulationError(f"fault budget k must be >= 0, got {k}")
+        self.ids = tuple(iid for iid, _ in capacities)
+        # Per-stratum counts never exceed k faults on one instance, so
+        # capping keeps the DP small without changing any stratum.
+        self.caps = tuple(min(cap, k) for _, cap in capacities)
+        self.k = k
+        # suffix[i][r]: number of ways to distribute exactly r faults
+        # over instances i..n-1 within their capacities.
+        n = len(self.caps)
+        suffix = [[0] * (k + 1) for _ in range(n + 1)]
+        suffix[n][0] = 1
+        for i in range(n - 1, -1, -1):
+            cap = self.caps[i]
+            row = suffix[i]
+            nxt = suffix[i + 1]
+            for r in range(k + 1):
+                total = 0
+                for f in range(min(cap, r) + 1):
+                    total += nxt[r - f]
+                row[r] = total
+        self._suffix = suffix
+
+    @classmethod
+    def of(cls, ft: FTGraph, k: int) -> "ScenarioSpace":
+        """The space of ``ft``: sorted instance ids, ``reexec + 1`` caps."""
+        capacities = [
+            (iid, ft.instance(iid).reexecutions + 1)
+            for iid in sorted(ft.instances)
+        ]
+        return cls(capacities, k)
+
+    # -- sizes -------------------------------------------------------------
+
+    def stratum_size(self, t: int) -> int:
+        """Number of scenarios with exactly ``t`` total faults."""
+        if not 0 <= t <= self.k:
+            raise SimulationError(
+                f"stratum {t} outside the fault model (k={self.k})"
+            )
+        return self._suffix[0][t]
+
+    @property
+    def total(self) -> int:
+        """Number of scenarios with at most ``k`` total faults."""
+        return sum(self._suffix[0][t] for t in range(self.k + 1))
+
+    # -- rank/unrank -------------------------------------------------------
+
+    def unrank(self, t: int, index: int) -> tuple[int, ...]:
+        """The ``index``-th count vector of stratum ``t`` (lex order)."""
+        size = self.stratum_size(t)
+        if not 0 <= index < size:
+            raise SimulationError(
+                f"index {index} outside stratum {t} (size {size})"
+            )
+        suffix = self._suffix
+        counts = []
+        remaining = t
+        m = index
+        for i, cap in enumerate(self.caps):
+            for f in range(min(cap, remaining) + 1):
+                ways = suffix[i + 1][remaining - f]
+                if m < ways:
+                    counts.append(f)
+                    remaining -= f
+                    break
+                m -= ways
+            else:  # pragma: no cover - excluded by the bounds check above
+                raise SimulationError("unrank fell off the capacity lattice")
+        return tuple(counts)
+
+    def rank(self, counts: Sequence[int]) -> tuple[int, int]:
+        """Inverse of :meth:`unrank`: ``(stratum, index)`` of a vector."""
+        if len(counts) != len(self.caps):
+            raise SimulationError(
+                f"count vector has {len(counts)} entries, "
+                f"space has {len(self.caps)} instances"
+            )
+        t = sum(counts)
+        if t > self.k:
+            raise SimulationError(
+                f"vector spends {t} faults, fault model allows {self.k}"
+            )
+        suffix = self._suffix
+        index = 0
+        remaining = t
+        for i, (f, cap) in enumerate(zip(counts, self.caps)):
+            if not 0 <= f <= cap:
+                raise SimulationError(
+                    f"count {f} outside capacity {cap} at position {i}"
+                )
+            for smaller in range(f):
+                index += suffix[i + 1][remaining - smaller]
+            remaining -= f
+        return t, index
+
+    # -- range materialization --------------------------------------------
+
+    def iter_range(self, t: int, lo: int, hi: int) -> Iterator[tuple[int, ...]]:
+        """Count vectors ``lo <= index < hi`` of stratum ``t``, in order.
+
+        The first vector is unranked; the rest follow by the successor
+        step, so a shard of ``m`` scenarios costs ``O(n·k + m·n)`` rather
+        than ``m`` full unrankings.
+        """
+        size = self.stratum_size(t)
+        if not 0 <= lo <= hi <= size:
+            raise SimulationError(
+                f"range [{lo}, {hi}) outside stratum {t} (size {size})"
+            )
+        if lo == hi:
+            return
+        counts = list(self.unrank(t, lo))
+        yield tuple(counts)
+        for _ in range(hi - lo - 1):
+            self._advance(counts)
+            yield tuple(counts)
+
+    def _advance(self, counts: list[int]) -> None:
+        """In-place lexicographic successor within the same stratum.
+
+        Scanning right to left, move one unit of the tail budget onto the
+        first position that can absorb it, then re-spread the remaining
+        tail as far right as it fits (the lex-smallest completion).
+        """
+        caps = self.caps
+        n = len(counts)
+        tail = 0  # faults at positions > i
+        for i in range(n - 1, -1, -1):
+            if i < n - 1:
+                tail += counts[i + 1]
+            if tail >= 1 and counts[i] < caps[i]:
+                # The remaining tail-1 always fits to the right of i:
+                # tail-1 < tail <= capacity of positions > i (the current
+                # vector is valid).  Re-spread it right-packed.
+                counts[i] += 1
+                rest = tail - 1
+                for j in range(n - 1, i, -1):
+                    take = min(caps[j], rest)
+                    counts[j] = take
+                    rest -= take
+                if rest:  # pragma: no cover - tail-1 < tail_cap always fits
+                    raise SimulationError("successor overflow (internal)")
+                return
+        raise SimulationError("advanced past the end of the stratum")
+
+    # -- scenario construction --------------------------------------------
+
+    def scenario(self, counts: Sequence[int]) -> FaultScenario:
+        """Materialize a count vector as a :class:`FaultScenario`."""
+        return FaultScenario(
+            failures={
+                iid: f for iid, f in zip(self.ids, counts) if f > 0
+            }
+        )
+
+    def counts_of(self, scenario: FaultScenario) -> tuple[int, ...]:
+        """The count vector of a scenario (unknown ids are an error)."""
+        index_of = {iid: i for i, iid in enumerate(self.ids)}
+        counts = [0] * len(self.ids)
+        for iid, f in scenario.failures.items():
+            try:
+                counts[index_of[iid]] = f
+            except KeyError:
+                raise SimulationError(
+                    f"scenario names unknown instance {iid!r}"
+                ) from None
+        return tuple(counts)

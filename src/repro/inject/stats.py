@@ -1,0 +1,82 @@
+"""Exact binomial coverage bounds (no scipy in the container).
+
+The stratified tier draws scenarios i.i.d. uniformly within a stratum, so
+"``x`` violating draws out of ``n``" is a binomial sample of the
+stratum's true violation fraction ``p``.  The aggregator reports the
+one-sided Clopper–Pearson upper bound::
+
+    p_hi = sup { p : P[Bin(n, p) <= x] >= alpha }
+
+i.e. the largest violation fraction still consistent (at level
+``1 - alpha``) with what the sweep observed.  For the common ``x = 0``
+case this closes to ``1 - alpha**(1/n)`` (the rule of three); the general
+case is solved by bisection on the exact binomial CDF, evaluated in log
+space with :func:`math.lgamma` so ``n`` in the millions is fine.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SimulationError
+
+_BISECT_STEPS = 80  # ~2^-80 interval: far below reporting precision
+
+
+def log_binom_pmf(n: int, i: int, p: float) -> float:
+    """log P[Bin(n, p) = i] (p strictly inside (0, 1))."""
+    return (
+        math.lgamma(n + 1)
+        - math.lgamma(i + 1)
+        - math.lgamma(n - i + 1)
+        + i * math.log(p)
+        + (n - i) * math.log1p(-p)
+    )
+
+
+def binom_cdf(n: int, x: int, p: float) -> float:
+    """P[Bin(n, p) <= x], exact summation in log space."""
+    if p <= 0.0:
+        return 1.0
+    if p >= 1.0:
+        return 1.0 if x >= n else 0.0
+    if x >= n:
+        return 1.0
+    # Sum the x+1 lower-tail terms via a running log-sum-exp.
+    log_total = None
+    for i in range(x + 1):
+        term = log_binom_pmf(n, i, p)
+        if log_total is None:
+            log_total = term
+        elif term > log_total:
+            log_total = term + math.log1p(math.exp(log_total - term))
+        else:
+            log_total = log_total + math.log1p(math.exp(term - log_total))
+    return math.exp(log_total) if log_total is not None else 0.0
+
+
+def clopper_pearson_upper(x: int, n: int, alpha: float = 0.05) -> float:
+    """One-sided exact upper confidence bound on a binomial proportion.
+
+    ``x`` successes (violating draws) in ``n`` trials; confidence level
+    ``1 - alpha``.  ``n = 0`` yields the vacuous bound 1.0.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise SimulationError(f"alpha must be in (0, 1), got {alpha}")
+    if x < 0 or n < 0 or x > n:
+        raise SimulationError(f"invalid binomial sample x={x}, n={n}")
+    if n == 0:
+        return 1.0
+    if x >= n:
+        return 1.0
+    if x == 0:
+        # Exact closed form: P[Bin(n, p) = 0] = (1-p)^n = alpha.
+        return -math.expm1(math.log(alpha) / n)
+    lo, hi = x / n, 1.0
+    for _ in range(_BISECT_STEPS):
+        mid = 0.5 * (lo + hi)
+        if binom_cdf(n, x, mid) >= alpha:
+            lo = mid
+        else:
+            hi = mid
+    return hi

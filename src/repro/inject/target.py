@@ -1,0 +1,141 @@
+"""The unit under injection: a schedule record plus its model context.
+
+A shard job must be executable by any worker on any machine, so the
+target carries everything needed to rebuild the replay context — the
+application, the fault model, the implementation (policies + mapping +
+bus) and the synthesized :class:`~repro.schedule.record.ScheduleRecord` —
+as canonical JSON, reusing the existing problem/solution codecs of
+:mod:`repro.io.json_codec`.  The FT graph is *derived*, never shipped:
+``build_ft_graph(merge_application(app), policies, mapping, faults)`` is
+deterministic, so every worker reconstructs the identical graph (which is
+what makes shard coordinates portable, see :mod:`repro.inject.space`).
+
+The target's fingerprint (sha256 of its canonical JSON) names the sweep:
+it participates in every shard fingerprint, so resuming against a broker
+that holds a *different* target's shards is detected, not silently mixed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.io.json_codec import (
+    application_from_dict,
+    application_to_dict,
+    fault_model_from_dict,
+    fault_model_to_dict,
+    implementation_from_dict,
+    implementation_to_dict,
+)
+from repro.model.application import Application, ProcessGraph
+from repro.model.fault import FaultModel
+from repro.model.ftgraph import FTGraph, build_ft_graph
+from repro.model.merge import merge_application
+from repro.opt.implementation import Implementation
+from repro.schedule.record import ScheduleRecord
+from repro.sim.engine import SystemSimulator
+
+
+@dataclass(frozen=True)
+class InjectContext:
+    """Rebuilt replay context of one target (derived, worker-side)."""
+
+    merged: ProcessGraph
+    ft: FTGraph
+    simulator: SystemSimulator
+
+
+@dataclass(frozen=True)
+class InjectTarget:
+    """A validated-schedule candidate plus everything needed to replay it."""
+
+    application: Application
+    faults: FaultModel
+    implementation: Implementation
+    record: ScheduleRecord
+    label: str = "target"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "application": application_to_dict(self.application),
+            "faults": fault_model_to_dict(self.faults),
+            "implementation": implementation_to_dict(self.implementation),
+            "record": self.record.to_json_dict(),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "InjectTarget":
+        return cls(
+            application=application_from_dict(data["application"]),
+            faults=fault_model_from_dict(data["faults"]),
+            implementation=implementation_from_dict(data["implementation"]),
+            record=ScheduleRecord.from_json_dict(data["record"]),
+            label=data.get("label", "target"),
+        )
+
+    def fingerprint(self) -> str:
+        """sha256 of the canonical JSON form (names the whole sweep)."""
+        text = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(text.encode()).hexdigest()
+
+    def build_context(self) -> InjectContext:
+        """Rebuild the deterministic replay context (merged graph, FT
+        graph, simulator bound to the record)."""
+        merged = merge_application(self.application)
+        ft = build_ft_graph(
+            merged,
+            self.implementation.policies,
+            self.implementation.mapping,
+            self.faults,
+        )
+        simulator = SystemSimulator.from_record(
+            self.record, merged, ft, self.faults, self.implementation.bus
+        )
+        return InjectContext(merged=merged, ft=ft, simulator=simulator)
+
+
+# -- worker-side context cache ------------------------------------------------
+
+#: Rebuilt contexts keyed by target fingerprint.  A sweep's shards all
+#: share one target, so a worker draining a queue rebuilds the (graph,
+#: FT graph, simulator) context once, not once per shard.
+_CONTEXT_CACHE: dict[str, InjectContext] = {}
+_CONTEXT_CACHE_LIMIT = 4
+
+
+def cached_context(target: InjectTarget, fingerprint: str) -> InjectContext:
+    """The target's replay context, via the bounded worker-side cache."""
+    context = _CONTEXT_CACHE.get(fingerprint)
+    if context is None:
+        context = target.build_context()
+        if len(_CONTEXT_CACHE) >= _CONTEXT_CACHE_LIMIT:
+            # Sweeps drain one target at a time; dropping the oldest
+            # insertion keeps the common case (one hot target) resident.
+            _CONTEXT_CACHE.pop(next(iter(_CONTEXT_CACHE)))
+        _CONTEXT_CACHE[fingerprint] = context
+    return context
+
+
+def target_from_optimization(result, application: Application) -> InjectTarget:
+    """Wrap an :class:`~repro.opt.strategy.OptimizationResult` winner.
+
+    Raises when the optimizer produced no record (nothing to inject).
+    """
+    if result.record is None:
+        raise SimulationError(
+            "optimization result carries no schedule record to inject"
+        )
+    return InjectTarget(
+        application=application,
+        faults=result.faults,
+        implementation=result.implementation,
+        record=result.record,
+        label=getattr(result, "variant", "target"),
+    )

@@ -1,0 +1,105 @@
+"""Wire format of fault-injection shard jobs and results.
+
+Shard jobs ride the same broker as optimizer jobs
+(:mod:`repro.io.queue_codec`), distinguished by a ``"kind"`` marker in
+the payload — legacy :class:`~repro.experiments.parallel.CaseJob`
+payloads carry no marker and stay byte-identical, so existing sweep
+fingerprints are unaffected.
+
+A shard job embeds the full :class:`~repro.inject.target.InjectTarget`
+(application, fault model, implementation, schedule record) as canonical
+JSON: any ``ftds worker`` on any machine can lease it cold, rebuild the
+replay context deterministically and re-materialize the shard's scenario
+set from coordinates alone.  The job's durable identity is
+:func:`repro.inject.partition.shard_fingerprint` — a function of the
+target fingerprint and the shard coordinates, **not** of the payload
+text, so it survives codec-layer reformatting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.errors import QueueError
+from repro.inject.aggregate import ShardResult
+from repro.inject.partition import ShardSpec
+from repro.inject.target import InjectTarget
+from repro.io.queue_codec import canonical_json
+
+INJECT_FORMAT_VERSION = 1
+
+#: Payload marker of shard jobs (see :func:`repro.io.queue_codec.payload_kind`).
+INJECT_JOB_KIND = "inject_shard"
+
+
+def encode_shard_job(target_dict: dict[str, Any], spec: ShardSpec) -> str:
+    """Canonical shard-job payload.
+
+    Takes the target's *dict* form so a driver enqueueing hundreds of
+    shards serializes the (large, shared) target once, not per shard.
+    """
+    return canonical_json(
+        {
+            "kind": INJECT_JOB_KIND,
+            "version": INJECT_FORMAT_VERSION,
+            "target": target_dict,
+            "spec": spec.to_dict(),
+        }
+    )
+
+
+def decode_shard_job(text: str) -> tuple[InjectTarget, ShardSpec, str]:
+    """Decode one shard job; returns (target, spec, target fingerprint).
+
+    The fingerprint is recomputed from the embedded target's canonical
+    JSON — identical to :meth:`InjectTarget.fingerprint` — so worker-side
+    caches key on the same identity the driver planned with.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise QueueError(f"undecodable shard payload: {error}") from None
+    if data.get("kind") != INJECT_JOB_KIND:
+        raise QueueError("payload is not an inject shard job")
+    _check_version(data)
+    target_fp = hashlib.sha256(
+        canonical_json(data["target"]).encode()
+    ).hexdigest()
+    return (
+        InjectTarget.from_dict(data["target"]),
+        ShardSpec.from_dict(data["spec"]),
+        target_fp,
+    )
+
+
+def encode_shard_result(result: ShardResult) -> str:
+    """One acked shard result (the broker's stored result text)."""
+    return canonical_json(
+        {
+            "kind": INJECT_JOB_KIND,
+            "version": INJECT_FORMAT_VERSION,
+            "result": result.to_dict(),
+        }
+    )
+
+
+def decode_shard_result(text: str) -> ShardResult:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise QueueError(f"undecodable shard result: {error}") from None
+    if data.get("kind") != INJECT_JOB_KIND:
+        raise QueueError("payload is not an inject shard result")
+    _check_version(data)
+    return ShardResult.from_dict(data["result"])
+
+
+def _check_version(data: dict[str, Any]) -> None:
+    version = data.get("version", INJECT_FORMAT_VERSION)
+    if version != INJECT_FORMAT_VERSION:
+        raise QueueError(
+            f"unsupported inject format version {version} "
+            f"(expected {INJECT_FORMAT_VERSION})"
+        )

@@ -35,6 +35,24 @@ def canonical_json(data: Any) -> str:
     return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
 
+def payload_kind(text: str) -> str | None:
+    """The ``"kind"`` marker of a queue payload, if it carries one.
+
+    Workers dispatch on this: fault-injection shards declare
+    ``"inject_shard"`` (:mod:`repro.io.inject_codec`) while legacy
+    :class:`CaseJob` payloads carry no marker (``None``) and keep their
+    original, byte-stable encoding.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise QueueError(f"undecodable job payload: {error}") from None
+    if not isinstance(data, dict):
+        raise QueueError("job payload must be a JSON object")
+    kind = data.get("kind")
+    return kind if isinstance(kind, str) else None
+
+
 # -- optimization config ------------------------------------------------------
 
 def config_to_dict(config: OptimizationConfig) -> dict[str, Any]:

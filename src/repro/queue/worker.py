@@ -82,20 +82,42 @@ class Worker:
         return acked
 
     def step(self, fingerprint: str, payload: str, attempt: int) -> bool:
-        """Process one delivery; returns True if the job was acked."""
+        """Process one delivery; returns True if the job was acked.
+
+        Dispatches on the payload's ``"kind"`` marker: fault-injection
+        shards (``"inject_shard"``) are simulated, everything else is the
+        legacy optimizer job path — one worker fleet drains both.
+        """
         # Imported here so worker processes pay the experiments-layer import
         # on first use and module import stays cheap for the CLI.
-        from repro.experiments.parallel import run_case_job
-        from repro.io.queue_codec import decode_job, encode_result
+        from repro.io.queue_codec import payload_kind
 
         started = time.monotonic()
         label = fingerprint[:12]
         try:
-            job = decode_job(payload)
-            label = job.describe()
-            runs = run_case_job(job, validate_samples=self.validate_samples)
-            elapsed = time.monotonic() - started
-            self.broker.ack(fingerprint, encode_result(runs, elapsed))
+            if payload_kind(payload) == "inject_shard":
+                from repro.inject.runner import run_shard
+                from repro.io.inject_codec import (
+                    decode_shard_job,
+                    encode_shard_result,
+                )
+
+                target, spec, target_fp = decode_shard_job(payload)
+                label = f"{target.label}:{spec.describe()}"
+                result = run_shard(target, spec, target_fp)
+                elapsed = time.monotonic() - started
+                self.broker.ack(fingerprint, encode_shard_result(result))
+            else:
+                from repro.experiments.parallel import run_case_job
+                from repro.io.queue_codec import decode_job, encode_result
+
+                job = decode_job(payload)
+                label = job.describe()
+                runs = run_case_job(
+                    job, validate_samples=self.validate_samples
+                )
+                elapsed = time.monotonic() - started
+                self.broker.ack(fingerprint, encode_result(runs, elapsed))
         except Exception as error:  # nack *any* failure; broker bounds retries
             self.failed += 1
             self.broker.nack(

@@ -14,6 +14,7 @@ and local predecessors strictly precede it in the order).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 from repro.errors import SimulationError
 from repro.model.application import ProcessGraph
@@ -27,6 +28,34 @@ from repro.sim.kernel import ExecutionRecord, NodeKernel
 from repro.ttp.bus import BusConfig
 
 _EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class _SourcePlan:
+    """One potential input arrival, resolved against the FT graph once."""
+
+    iid: str
+    local: bool  # same node: read the producer's finish directly
+    message_ids: tuple[str, ...]  # else: bus messages carrying this group
+
+
+@dataclass(frozen=True)
+class _InstancePlan:
+    """Everything :meth:`SystemSimulator.run` needs for one instance.
+
+    Replaying a scenario is a pure function of (plans, failure counts):
+    all FT-graph traversal — input groups, replica sources, outgoing bus
+    messages, name matching — happens once at simulator construction, so
+    million-scenario sweeps pay only the arithmetic per run.
+    """
+
+    iid: str
+    instance: object
+    node: str
+    table_start: float
+    release: float
+    groups: tuple[tuple[_SourcePlan, ...], ...]
+    out_message_ids: tuple[str, ...]
 
 
 @dataclass
@@ -64,6 +93,51 @@ class SystemSimulator:
     def __init__(self, schedule: SystemSchedule) -> None:
         self.schedule = schedule
         self.ft: FTGraph = schedule.ft
+        self._plans = self._build_plans()
+
+    def _build_plans(self) -> tuple[_InstancePlan, ...]:
+        """Resolve the FT graph into flat per-instance replay plans."""
+        ft = self.ft
+        table = self.schedule.record
+        plans: list[_InstancePlan] = []
+        for index, iid in enumerate(table.instance_ids):
+            instance = ft.instance(iid)
+            groups: list[tuple[_SourcePlan, ...]] = []
+            for group in ft.inputs_of(iid):
+                sources: list[_SourcePlan] = []
+                for src_iid in group.sources:
+                    src = ft.instance(src_iid)
+                    if src.node == instance.node:
+                        sources.append(
+                            _SourcePlan(iid=src_iid, local=True,
+                                        message_ids=())
+                        )
+                        continue
+                    message_ids = tuple(
+                        bus_message.id
+                        for bus_message in ft.outgoing_bus_messages(src_iid)
+                        if bus_message.message.name == group.message.name
+                    )
+                    sources.append(
+                        _SourcePlan(iid=src_iid, local=False,
+                                    message_ids=message_ids)
+                    )
+                groups.append(tuple(sources))
+            plans.append(
+                _InstancePlan(
+                    iid=iid,
+                    instance=instance,
+                    node=instance.node,
+                    table_start=table.root_start[index],
+                    release=instance.release,
+                    groups=tuple(groups),
+                    out_message_ids=tuple(
+                        bus_message.id
+                        for bus_message in ft.outgoing_bus_messages(iid)
+                    ),
+                )
+            )
+        return tuple(plans)
 
     @classmethod
     def from_record(
@@ -80,65 +154,63 @@ class SystemSimulator:
     def run(self, scenario: FaultScenario) -> SimulationResult:
         """Simulate one cycle under ``scenario`` (faults may exceed k)."""
         schedule = self.schedule
-        ft = self.ft
-        table = schedule.record
         bus = TTPBusModel(schedule.medl)
         kernels = {
-            node: NodeKernel(node, schedule.faults) for node in table.nodes
+            node: NodeKernel(node, schedule.faults)
+            for node in schedule.record.nodes
         }
         result = SimulationResult(scenario=scenario)
+        executions = result.executions
 
-        for index, iid in enumerate(table.instance_ids):
-            instance = ft.instance(iid)
-            inputs_ready, starved = self._inputs_ready(iid, bus, result)
+        for plan in self._plans:
+            ready = plan.release
+            starved = False
+            for group in plan.groups:
+                arrivals: list[float] = []
+                for source in group:
+                    record = executions.get(source.iid)
+                    if record is None or not record.produced:
+                        continue
+                    if source.local:
+                        arrivals.append(record.finish)
+                        continue
+                    for message_id in source.message_ids:
+                        arrival = bus.valid_arrival(message_id)
+                        if arrival is not None:
+                            arrivals.append(arrival)
+                if not arrivals:
+                    starved = True
+                    break
+                ready = max(ready, min(arrivals))
             if starved:
-                result.starved.append(iid)
+                result.starved.append(plan.iid)
                 # The instance cannot run without data; mark it dead so its
                 # consumers starve too rather than reading garbage.
                 continue
-            record = kernels[instance.node].execute(
-                instance=instance,
-                table_start=table.root_start[index],
-                inputs_ready=inputs_ready,
-                failed_attempts=scenario.failures_of(iid),
+            record = kernels[plan.node].execute(
+                instance=plan.instance,
+                table_start=plan.table_start,
+                inputs_ready=ready,
+                failed_attempts=scenario.failures_of(plan.iid),
             )
-            result.executions[iid] = record
-            for bus_message in ft.outgoing_bus_messages(iid):
-                bus.transmit(bus_message.id, record.output_ready)
+            executions[plan.iid] = record
+            for message_id in plan.out_message_ids:
+                bus.transmit(message_id, record.output_ready)
 
         self._derive_completions(result)
         return result
 
-    def _inputs_ready(
-        self,
-        iid: str,
-        bus: TTPBusModel,
-        result: SimulationResult,
-    ) -> tuple[float, bool]:
-        """Earliest time all input groups have one valid arrival."""
-        ft = self.ft
-        instance = ft.instance(iid)
-        ready = instance.release
-        for group in ft.inputs_of(iid):
-            arrivals: list[float] = []
-            for src_iid in group.sources:
-                record = result.executions.get(src_iid)
-                if record is None or not record.produced:
-                    continue
-                src = ft.instance(src_iid)
-                if src.node == instance.node:
-                    arrivals.append(record.finish)
-                    continue
-                for bus_message in ft.outgoing_bus_messages(src_iid):
-                    if bus_message.message.name != group.message.name:
-                        continue
-                    arrival = bus.valid_arrival(bus_message.id)
-                    if arrival is not None:
-                        arrivals.append(arrival)
-            if not arrivals:
-                return ready, True
-            ready = max(ready, min(arrivals))
-        return ready, False
+    def run_many(
+        self, scenarios: Iterable[FaultScenario]
+    ) -> Iterator[SimulationResult]:
+        """Replay a stream of scenarios against the precomputed plans.
+
+        Lazy on purpose: fault-injection shards feed millions of scenarios
+        through here and fold each result immediately, never holding more
+        than one :class:`SimulationResult` alive.
+        """
+        for scenario in scenarios:
+            yield self.run(scenario)
 
     def _derive_completions(self, result: SimulationResult) -> None:
         """Process output time: first surviving replica's finish."""

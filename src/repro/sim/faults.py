@@ -92,11 +92,29 @@ def sample_scenarios(
     count: int = 100,
     always_max_faults: bool = False,
 ) -> list[FaultScenario]:
-    """``count`` random scenarios with at most (exactly, if asked) ``k`` faults."""
+    """Up to ``count`` *distinct* random scenarios with at most ``k`` faults.
+
+    Draws are deduplicated by failure-map fingerprint, so a validation
+    sweep never burns simulation time replaying an identical scenario.
+    Fewer than ``count`` scenarios come back when the rejection budget
+    (``4 * count`` draws) runs out — for tiny spaces that simply means
+    every reachable scenario was drawn.
+
+    With ``always_max_faults`` every draw spends the full budget ``k``
+    where capacity allows: each fault lands on a uniformly chosen
+    still-open instance, so scenarios carry exactly ``k`` faults unless
+    the whole system's capacity ``sum(reexecutions + 1)`` is below ``k``
+    (then the draw saturates at that capacity).  Without it the total is
+    uniform over ``0..k`` first, then distributed the same way.
+    """
     caps = dict(_capacities(ft))
     instance_ids = sorted(caps)
     scenarios: list[FaultScenario] = []
-    for _ in range(count):
+    seen: set[tuple[tuple[str, int], ...]] = set()
+    attempts = 0
+    max_attempts = max(count * 4, 16)
+    while len(scenarios) < count and attempts < max_attempts:
+        attempts += 1
         budget = k if always_max_faults else rng.randint(0, k)
         failures: dict[str, int] = {}
         for _ in range(budget):
@@ -105,6 +123,10 @@ def sample_scenarios(
                 break
             target = rng.choice(open_targets)
             failures[target] = failures.get(target, 0) + 1
+        key = tuple(sorted(failures.items()))
+        if key in seen:
+            continue
+        seen.add(key)
         scenarios.append(FaultScenario(failures=failures))
     return scenarios
 

@@ -40,6 +40,22 @@ _EPS = 1e-6
 _EXHAUSTIVE_LIMIT = 400
 
 
+@dataclass(frozen=True)
+class Violation:
+    """One structured check failure of one scenario.
+
+    ``kind`` is a stable machine-readable class (``starved``,
+    ``dead_process``, ``wcf_exceeded``, ``completion_exceeded``,
+    ``deadline_missed``) consumed by the fault-injection aggregator;
+    ``subject`` names the failing instance or process; ``detail`` is the
+    human-readable message (without the scenario tag prefix).
+    """
+
+    kind: str
+    subject: str
+    detail: str
+
+
 @dataclass
 class ValidationReport:
     """Aggregated outcome of a validation run."""
@@ -118,11 +134,17 @@ def validate_record(
     return validate_schedule(schedule, scenarios=scenarios, samples=samples, rng=rng)
 
 
-def _check_one(
+def check_scenario(
     simulator: SystemSimulator,
     scenario: FaultScenario,
-    report: ValidationReport,
-) -> None:
+) -> list[Violation]:
+    """Simulate one scenario and classify every check failure.
+
+    This is the single classification point shared by
+    :func:`validate_schedule` and the fault-injection runner
+    (:mod:`repro.inject.runner`): both see identical violation kinds and
+    messages for the same scenario.
+    """
     schedule = simulator.schedule
     k = schedule.faults.k
     if scenario.total_faults > k:
@@ -130,36 +152,63 @@ def _check_one(
             f"scenario {scenario.describe()} exceeds the fault model (k={k})"
         )
     result = simulator.run(scenario)
-    tag = scenario.describe()
+    violations: list[Violation] = []
 
     for iid in result.starved:
-        report.add(f"{tag}: instance {iid} starved for input")
+        violations.append(
+            Violation("starved", iid, f"instance {iid} starved for input")
+        )
     for process in result.dead_processes:
-        report.add(f"{tag}: process {process} produced no output")
+        violations.append(
+            Violation(
+                "dead_process", process,
+                f"process {process} produced no output",
+            )
+        )
 
     for iid, record in result.executions.items():
         if not record.produced:
             continue
         bound = schedule.placements[iid].wcf
         if record.finish > bound + _EPS:
-            report.add(
-                f"{tag}: instance {iid} finished at {record.finish:.3f} "
-                f"after its analytical WCF {bound:.3f}"
+            violations.append(
+                Violation(
+                    "wcf_exceeded", iid,
+                    f"instance {iid} finished at {record.finish:.3f} "
+                    f"after its analytical WCF {bound:.3f}",
+                )
             )
 
     for process, completion in result.completions.items():
         guaranteed = schedule.completions[process]
         if completion > guaranteed + _EPS:
-            report.add(
-                f"{tag}: process {process} completed at {completion:.3f} "
-                f"after its guaranteed completion {guaranteed:.3f}"
+            violations.append(
+                Violation(
+                    "completion_exceeded", process,
+                    f"process {process} completed at {completion:.3f} "
+                    f"after its guaranteed completion {guaranteed:.3f}",
+                )
             )
         deadline = schedule.graph.process(process).deadline
         if deadline is not None and completion > deadline + _EPS:
-            report.add(
-                f"{tag}: process {process} missed its deadline "
-                f"{deadline:.3f} (finished {completion:.3f})"
+            violations.append(
+                Violation(
+                    "deadline_missed", process,
+                    f"process {process} missed its deadline "
+                    f"{deadline:.3f} (finished {completion:.3f})",
+                )
             )
+    return violations
+
+
+def _check_one(
+    simulator: SystemSimulator,
+    scenario: FaultScenario,
+    report: ValidationReport,
+) -> None:
+    tag = scenario.describe()
+    for violation in check_scenario(simulator, scenario):
+        report.add(f"{tag}: {violation.detail}")
 
 
 def assert_fault_tolerant(

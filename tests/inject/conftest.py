@@ -1,0 +1,52 @@
+"""Shared builders of the fault-injection suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gen.suite import generate_case
+from repro.inject.target import InjectTarget
+from repro.model.merge import merge_application
+from repro.opt.initial import initial_bus_access, initial_mpa
+from repro.schedule.list_scheduler import list_schedule
+
+
+def build_target(
+    n_processes: int = 10,
+    n_nodes: int = 3,
+    k: int = 2,
+    seed: int = 3,
+    replicas: int = 3,
+    mu: float = 5.0,
+) -> InjectTarget:
+    """An initial-MPA schedule wrapped as an injection target.
+
+    Defaults reproduce the ``replicated_10p3n_k2`` golden case — replica
+    groups with remote senders, so the importance tier's correlated-delay
+    probes have something to aim at.
+    """
+    case = generate_case(n_processes, n_nodes, k, mu=mu, seed=seed)
+    merged = merge_application(case.application)
+    bus = initial_bus_access(case.application, case.architecture)
+    impl = initial_mpa(merged, case.architecture, case.faults, bus, replicas)
+    schedule = list_schedule(
+        merged, case.faults, impl.policies, impl.mapping, bus
+    )
+    return InjectTarget(
+        application=case.application,
+        faults=case.faults,
+        implementation=impl,
+        record=schedule.record,
+        label=f"test-{n_processes}p{n_nodes}n-k{k}",
+    )
+
+
+@pytest.fixture(scope="session")
+def replicated_target() -> InjectTarget:
+    return build_target()
+
+
+@pytest.fixture(scope="session")
+def small_target() -> InjectTarget:
+    """Tiny space (8 processes, k=2): exhaustive sweeps stay sub-second."""
+    return build_target(n_processes=8, n_nodes=2, k=2, seed=0, replicas=1)

@@ -1,0 +1,118 @@
+"""Planner invariants and the exact binomial bound."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.inject.plan import (
+    MODE_EXHAUSTIVE,
+    MODE_SAMPLED,
+    plan_sweep,
+)
+from repro.inject.space import ScenarioSpace
+from repro.inject.stats import binom_cdf, clopper_pearson_upper
+
+
+def space_of(caps: list[int], k: int) -> ScenarioSpace:
+    return ScenarioSpace([(f"i{j}", c) for j, c in enumerate(caps)], k)
+
+
+@given(
+    caps=st.lists(st.integers(min_value=1, max_value=3), min_size=2, max_size=8),
+    k=st.integers(min_value=1, max_value=3),
+    budget=st.integers(min_value=1, max_value=5000),
+    shard_size=st.integers(min_value=1, max_value=400),
+    importance=st.integers(min_value=0, max_value=60),
+)
+@settings(max_examples=100, deadline=None)
+def test_plan_respects_budget_and_covers_every_stratum(
+    caps, k, budget, shard_size, importance
+):
+    space = space_of(caps, k)
+    plan = plan_sweep(space, importance, budget, shard_size=shard_size, seed=0)
+    # The scheduled work never exceeds the budget except for the +1-draw
+    # floor of tiny sampled strata (each sampled stratum contributes >= 1).
+    assert plan.total_scenarios <= budget + k
+    # Exhaustive strata are fully sharded; sampled strata have draws.
+    for t in range(k + 1):
+        shards = [s for s in plan.shards if s.stratum == t]
+        if plan.modes[t] == MODE_EXHAUSTIVE:
+            assert sum(s.hi - s.lo for s in shards) == space.stratum_size(t)
+        elif plan.modes[t] == MODE_SAMPLED:
+            assert sum(s.draws for s in shards) >= 1
+    # Importance wave rides first and is capped by the budget.
+    wave0 = [s for s in plan.shards if s.wave == 0]
+    assert sum(s.hi - s.lo for s in wave0) == min(importance, budget)
+    assert plan.shards == sorted(
+        plan.shards, key=lambda s: (s.wave, s.stratum or 0, s.lo)
+    )
+
+
+def test_plan_is_deterministic():
+    space = space_of([2, 3, 1, 2], 3)
+    a = plan_sweep(space, 10, 500, shard_size=64, seed=5)
+    b = plan_sweep(space, 10, 500, shard_size=64, seed=5)
+    assert a.shards == b.shards
+    assert a.modes == b.modes
+
+
+def test_auto_tier_enumerates_when_space_fits():
+    space = space_of([1, 1, 1], 2)
+    plan = plan_sweep(space, 0, budget=1000)
+    assert all(mode == MODE_EXHAUSTIVE for mode in plan.modes.values())
+    assert plan.total_scenarios == space.total
+
+
+def test_importance_tier_stops_after_wave_zero():
+    space = space_of([2, 2], 2)
+    plan = plan_sweep(space, 7, budget=100, tier="importance")
+    assert plan.shards and all(s.wave == 0 for s in plan.shards)
+
+
+def test_unknown_tier_rejected():
+    with pytest.raises(SimulationError):
+        plan_sweep(space_of([1], 1), 0, 10, tier="bogus")
+
+
+# -- Clopper–Pearson ----------------------------------------------------------
+
+def test_rule_of_three_closed_form():
+    # x = 0: p_hi = 1 - alpha^(1/n); classic n=60, alpha=.05 ~ 3/n.
+    bound = clopper_pearson_upper(0, 60, alpha=0.05)
+    assert math.isclose(bound, 1 - 0.05 ** (1 / 60), rel_tol=1e-12)
+    assert bound == pytest.approx(3 / 60, rel=0.2)
+
+
+def test_bound_is_consistent_with_the_exact_cdf():
+    for x, n in [(1, 50), (3, 200), (7, 1000), (25, 100)]:
+        bound = clopper_pearson_upper(x, n, alpha=0.05)
+        # Defining property: P[Bin(n, p_hi) <= x] == alpha (within bisection).
+        assert binom_cdf(n, x, bound) == pytest.approx(0.05, abs=1e-9)
+        # One-sided coverage: the bound is above the point estimate.
+        assert bound > x / n
+
+
+def test_bound_monotone_in_evidence():
+    # More trials with the same violation count tighten the bound.
+    assert clopper_pearson_upper(0, 10) > clopper_pearson_upper(0, 1000)
+    # More violations with the same trial count loosen it.
+    assert clopper_pearson_upper(5, 100) > clopper_pearson_upper(1, 100)
+
+
+def test_degenerate_samples():
+    assert clopper_pearson_upper(0, 0) == 1.0  # no evidence at all
+    assert clopper_pearson_upper(4, 4) == 1.0  # everything violated
+    with pytest.raises(SimulationError):
+        clopper_pearson_upper(5, 4)
+    with pytest.raises(SimulationError):
+        clopper_pearson_upper(0, 10, alpha=1.5)
+
+
+def test_large_n_stays_finite_and_tiny():
+    bound = clopper_pearson_upper(0, 1_000_000)
+    assert 0 < bound < 5e-6
