@@ -1,20 +1,26 @@
 """Fault-injection throughput benchmark -> ``BENCH_inject.json``.
 
-Two measurements on one deterministic initial-MPA target whose <=k fault
-space (46k scenarios at 30 processes, k=4) exceeds the sweep budget, so
-the planner exercises both tiers — exhaustive low strata, stratified
-draws on the top stratum — next to the importance wave:
+Three measurements on one deterministic initial-MPA target whose <=k
+fault space (46k scenarios at 30 processes, k=4) exceeds the sweep
+budget, so the planner exercises both tiers — exhaustive low strata,
+stratified draws on the top stratum — next to the importance wave:
 
-* **inline sweep** — shards executed in-process; ``scenarios_per_sec``
-  is the headline simulator throughput CI gates against the committed
-  baseline (scripts/check_bench_regression.py);
-* **queued sweep** — the identical plan through a SQLite broker with two
-  worker processes; the per-shard delta prices the distribution plumbing
-  (canonical-JSON shard jobs + WAL writes + result folding) a
-  multi-machine million-scenario run pays for resumability.
+* **inline batched sweep** — shards stream through the columnar
+  replay kernel (:mod:`repro.sim.batch`); ``inject.scenarios_per_sec``
+  is the headline throughput CI gates against the committed baseline,
+  and ``inject.batch.speedup_vs_scalar`` prices the kernel against the
+  scalar reference on identical shards;
+* **inline scalar sweep** — the same plan with ``batch_size=0``
+  (scenario-by-scenario ``SystemSimulator.run``), the reference the
+  batch tier must match byte for byte;
+* **queued sweep** — the identical plan through a SQLite broker with
+  two worker processes (workers replay batched); the per-shard delta
+  prices the distribution plumbing a multi-machine million-scenario
+  run pays for resumability.
 
 Wall-clock numbers are noisy; CI records the trend, assertions only
-guard sanity (identical aggregates, every scenario accounted for).
+guard sanity (identical aggregates across all three paths, every
+scenario accounted for).
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from repro.gen.suite import generate_case
 from repro.inject.driver import run_inject_sweep
 from repro.inject.importance import importance_scenarios
 from repro.inject.plan import plan_sweep
+from repro.inject.runner import DEFAULT_BATCH_SIZE
 from repro.inject.space import ScenarioSpace
 from repro.inject.target import InjectTarget
 from repro.model.merge import merge_application
@@ -72,6 +79,10 @@ def test_inject_throughput_records_bench_json(tmp_path):
     )
 
     started = time.perf_counter()
+    scalar, scalar_stats = run_inject_sweep(target, plan, batch_size=0)
+    scalar_s = time.perf_counter() - started
+
+    started = time.perf_counter()
     inline, inline_stats = run_inject_sweep(target, plan)
     inline_s = time.perf_counter() - started
 
@@ -85,14 +96,20 @@ def test_inject_throughput_records_bench_json(tmp_path):
     finally:
         broker.close()
 
-    # Identical deterministic shards either way.
-    assert inline_stats.completed == queued_stats.completed == len(plan.shards)
+    # Identical deterministic shards on every path: batched inline,
+    # scalar reference, and batched through the queue.
+    assert (
+        scalar_stats.completed == inline_stats.completed
+        == queued_stats.completed == len(plan.shards)
+    )
+    scalar_summary = scalar.to_dict()
     inline_summary = inline.to_dict()
     queued_summary = queued.to_dict()
-    for summary in (inline_summary, queued_summary):
+    for summary in (scalar_summary, inline_summary, queued_summary):
         summary.pop("elapsed_s")
         summary.pop("scenarios_per_sec")
-    assert inline_summary == queued_summary
+        summary.pop("phase_s")
+    assert inline_summary == scalar_summary == queued_summary
 
     record = {
         "stamp": bench_stamp(),
@@ -111,6 +128,21 @@ def test_inject_throughput_records_bench_json(tmp_path):
             "scenarios_per_sec": round(inline.scenarios / inline_s, 1),
             "residual_upper_bound": inline.residual_upper_bound(),
             "ok": inline.ok,
+            "batch": {
+                "batch_size": DEFAULT_BATCH_SIZE,
+                "scenarios_per_sec": round(inline.scenarios / inline_s, 1),
+                "speedup_vs_scalar": round(scalar_s / inline_s, 2),
+                "phase_s": {
+                    "materialize": round(inline.materialize_s, 3),
+                    "simulate": round(inline.simulate_s, 3),
+                    "classify": round(inline.classify_s, 3),
+                    "fold": round(inline.fold_s, 3),
+                },
+            },
+            "scalar": {
+                "elapsed_s": round(scalar_s, 3),
+                "scenarios_per_sec": round(scalar.scenarios / scalar_s, 1),
+            },
         },
         "queue": {
             "workers": _WORKERS,
@@ -122,7 +154,8 @@ def test_inject_throughput_records_bench_json(tmp_path):
             "note": (
                 "queue path includes spawn-context worker start-up and "
                 "per-shard target decoding (amortized by worker-side "
-                "context caches)"
+                "context caches); workers replay through the batched "
+                "kernel"
             ),
         },
     }
@@ -130,4 +163,5 @@ def test_inject_throughput_records_bench_json(tmp_path):
 
     assert record["inject"]["ok"] is True
     assert record["inject"]["scenarios_per_sec"] > 0
+    assert record["inject"]["batch"]["speedup_vs_scalar"] > 1.0
     assert inline.draws == plan.total_scenarios

@@ -21,7 +21,10 @@ Gated metrics (per file, dotted paths into the JSON record):
 
 ``BENCH_inject.json``
     * ``inject.scenarios_per_sec`` — fault-scenario simulation
-      throughput of the sharded injection sweep (inline tier).
+      throughput of the sharded injection sweep (inline batched tier);
+    * ``inject.batch.scenarios_per_sec`` — the same measurement under
+      its explicit batch-tier name (guards against the sweep silently
+      falling back to the scalar path).
 
 Usage (CI runs it right after the smoke benchmarks regenerate the
 files)::
@@ -56,7 +59,13 @@ GATED = (
             "vector.candidates_per_sec",
         ),
     ),
-    ("BENCH_inject.json", ("inject.scenarios_per_sec",)),
+    (
+        "BENCH_inject.json",
+        (
+            "inject.scenarios_per_sec",
+            "inject.batch.scenarios_per_sec",
+        ),
+    ),
 )
 
 

@@ -86,6 +86,21 @@ class ShardResult:
     class_counts: dict[str, int] = field(default_factory=dict)
     exemplars: dict[str, Exemplar] = field(default_factory=dict)
     elapsed_s: float = 0.0
+    # Per-phase worker seconds (sum <= elapsed_s; the remainder is
+    # context/cache lookup overhead).  Zero-filled by pre-batching
+    # payloads, so resumed sweeps fold old checkpoints unchanged.
+    materialize_s: float = 0.0
+    simulate_s: float = 0.0
+    classify_s: float = 0.0
+    fold_s: float = 0.0
+
+    def phase_dict(self) -> dict[str, float]:
+        return {
+            "materialize": self.materialize_s,
+            "simulate": self.simulate_s,
+            "classify": self.classify_s,
+            "fold": self.fold_s,
+        }
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -101,10 +116,12 @@ class ShardResult:
                 for name, exemplar in sorted(self.exemplars.items())
             },
             "elapsed_s": self.elapsed_s,
+            "phase_s": self.phase_dict(),
         }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ShardResult":
+        phases = data.get("phase_s", {})
         return cls(
             fingerprint=data["fingerprint"],
             spec=ShardSpec.from_dict(data["spec"]),
@@ -118,6 +135,10 @@ class ShardResult:
                 for name, value in data["exemplars"].items()
             },
             elapsed_s=data["elapsed_s"],
+            materialize_s=phases.get("materialize", 0.0),
+            simulate_s=phases.get("simulate", 0.0),
+            classify_s=phases.get("classify", 0.0),
+            fold_s=phases.get("fold", 0.0),
         )
 
 
@@ -162,6 +183,10 @@ class InjectAggregate:
     violation_draws: int = 0
     violation_scenarios: int = 0
     elapsed_s: float = 0.0  # summed worker compute time
+    materialize_s: float = 0.0
+    simulate_s: float = 0.0
+    classify_s: float = 0.0
+    fold_s: float = 0.0
     importance_scenarios: int = 0
     importance_violations: int = 0
     strata: dict[int, StratumCoverage] = field(default_factory=dict)
@@ -192,6 +217,10 @@ class InjectAggregate:
         self.violation_draws += result.violation_draws
         self.violation_scenarios += result.violation_scenarios
         self.elapsed_s += result.elapsed_s
+        self.materialize_s += result.materialize_s
+        self.simulate_s += result.simulate_s
+        self.classify_s += result.classify_s
+        self.fold_s += result.fold_s
 
         if spec.tier == TIER_IMPORTANCE:
             self.importance_scenarios += result.scenarios
@@ -270,6 +299,12 @@ class InjectAggregate:
             "residual_upper_bound": self.residual_upper_bound(),
             "alpha": self.alpha,
             "elapsed_s": self.elapsed_s,
+            "phase_s": {
+                "materialize": self.materialize_s,
+                "simulate": self.simulate_s,
+                "classify": self.classify_s,
+                "fold": self.fold_s,
+            },
             "scenarios_per_sec": self.scenarios_per_sec(),
             "class_counts": dict(sorted(self.class_counts.items())),
             "exemplars": {

@@ -31,7 +31,7 @@ from repro.errors import ConfigurationError, QueueError
 from repro.inject.aggregate import InjectAggregate
 from repro.inject.partition import shard_fingerprint
 from repro.inject.plan import SamplingPlan
-from repro.inject.runner import run_shard
+from repro.inject.runner import DEFAULT_BATCH_SIZE, run_shard
 from repro.inject.target import InjectTarget
 from repro.queue.broker import Broker, DEFAULT_MAX_ATTEMPTS, DONE
 from repro.queue.driver import _spawn_local_workers
@@ -146,7 +146,8 @@ def collect_shards(
                     f"[{stats.completed}/{total}] {spec.describe()} "
                     f"({result.scenarios} scenarios, "
                     f"{result.violation_scenarios} violations, "
-                    f"residual<={aggregate.residual_upper_bound():.2e})"
+                    f"residual<={aggregate.residual_upper_bound():.2e}, "
+                    f"{_phase_note(result)})"
                 )
         if not waiting:
             break
@@ -169,6 +170,16 @@ def collect_shards(
     return stats
 
 
+def _phase_note(result) -> str:
+    """Compact per-shard phase timing for progress lines."""
+    return (
+        f"mat {result.materialize_s:.2f}s/"
+        f"sim {result.simulate_s:.2f}s/"
+        f"cls {result.classify_s:.2f}s/"
+        f"fold {result.fold_s:.2f}s"
+    )
+
+
 def run_inject_sweep(
     target: InjectTarget,
     plan: SamplingPlan,
@@ -181,27 +192,31 @@ def run_inject_sweep(
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     poll_interval_s: float = 0.1,
     timeout_s: float | None = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> tuple[InjectAggregate, InjectSweepStats]:
     """Drive one injection sweep and return its folded aggregate.
 
     ``broker=None`` executes every shard inline in this process (no
     checkpointing); otherwise shards flow through the broker and
     ``local_workers`` consumer loops are attached for the duration, the
-    same way ``ftds sweep`` does it.
+    same way ``ftds sweep`` does it.  ``batch_size`` controls the inline
+    columnar replay block width (0 = scalar reference path); queue
+    workers always replay through the batch default.
     """
     aggregate = InjectAggregate(plan=plan, alpha=alpha)
     if broker is None:
         stats = InjectSweepStats(total=len(plan.shards))
         target_fp = target.fingerprint()
         for spec in plan.shards:
-            result = run_shard(target, spec, target_fp)
+            result = run_shard(target, spec, target_fp, batch_size=batch_size)
             aggregate.fold(result)
             stats.completed += 1
             if progress is not None:
                 progress(
                     f"[{stats.completed}/{stats.total}] {spec.describe()} "
                     f"({result.scenarios} scenarios, "
-                    f"{result.violation_scenarios} violations)"
+                    f"{result.violation_scenarios} violations, "
+                    f"{_phase_note(result)})"
                 )
         return aggregate, stats
 

@@ -2,13 +2,28 @@
 
 A shard never travels with scenarios — only coordinates.  The runner
 re-materializes them locally (rank/unrank for range shards, seeded RNG
-for stratified draws, the deterministic importance list for wave 0),
-feeds them through the target's cached simulator and folds every
-violation into a compact :class:`~repro.inject.aggregate.ShardResult`.
+for stratified draws, the deterministic importance list for wave 0) and
+replays them through the target's cached **batched** simulator: blocks
+of ``batch_size`` scenarios become int count matrices
+(:meth:`~repro.inject.space.ScenarioSpace.counts_range` /
+``sample_counts`` / ``counts_matrix``), one
+:meth:`~repro.sim.batch.BatchSimulator.run_batch` call replays every
+column at once, and :class:`~repro.sim.validate.BatchChecker` reduces
+the block to per-kind violation masks.  Only *violating* columns are
+re-materialized as :class:`FaultScenario` objects and re-run through the
+scalar :func:`~repro.sim.validate.check_scenario` — the single
+classification point — so violation counts, messages and exemplar orders
+are byte-identical to a scalar sweep.  ``batch_size=0`` falls back to
+the pure scalar path (the exemplar/replay reference the batch tier is
+tested against).
 
 Stratified shards simulate each *distinct* drawn scenario once but count
 violations per draw: the draws are the i.i.d. Bernoulli trials the
 Clopper–Pearson bound needs, the dedup is just compute savings.
+
+Each shard reports per-phase seconds (materialize / simulate / classify
+/ fold) next to its wall-clock, so batch-path wins stay observable per
+shard through ``ftds inject --json`` and the queue progress lines.
 """
 
 from __future__ import annotations
@@ -32,22 +47,37 @@ from repro.inject.target import InjectContext, InjectTarget, cached_context
 from repro.sim.faults import FaultScenario
 from repro.sim.validate import check_scenario
 
+#: Columns per ``run_batch`` call.  Wide enough to amortize the numpy
+#: dispatch across a shard, small enough that a block's arrays stay
+#: cache-resident (`ftds inject --batch-size` overrides; 0 = scalar).
+DEFAULT_BATCH_SIZE = 1024
+
 #: Per-fingerprint (space, importance list) caches — derived from the
-#: target exactly like the replay context, shared across a sweep's shards.
+#: target exactly like the replay context, shared across a sweep's
+#: shards.  LRU: hits re-insert at the back, eviction pops the front, so
+#: interleaving shards of >limit targets never evicts the active one.
 _SPACE_CACHE: dict[str, ScenarioSpace] = {}
 _IMPORTANCE_CACHE: dict[str, list[FaultScenario]] = {}
 _DERIVED_CACHE_LIMIT = 4
 
 
+def _cache_get(cache: dict, key: str):
+    value = cache.pop(key, None)
+    if value is not None:
+        cache[key] = value  # move to the back: most recently used
+    return value
+
+
 def _cache_put(cache: dict, key: str, value) -> None:
+    cache.pop(key, None)
     if len(cache) >= _DERIVED_CACHE_LIMIT:
-        cache.pop(next(iter(cache)))
+        cache.pop(next(iter(cache)))  # least recently used
     cache[key] = value
 
 
 def _space_of(context: InjectContext, target: InjectTarget,
               fingerprint: str) -> ScenarioSpace:
-    space = _SPACE_CACHE.get(fingerprint)
+    space = _cache_get(_SPACE_CACHE, fingerprint)
     if space is None:
         space = ScenarioSpace.of(context.ft, target.faults.k)
         _cache_put(_SPACE_CACHE, fingerprint, space)
@@ -56,7 +86,7 @@ def _space_of(context: InjectContext, target: InjectTarget,
 
 def _importance_of(context: InjectContext, target: InjectTarget,
                    fingerprint: str) -> list[FaultScenario]:
-    scenarios = _IMPORTANCE_CACHE.get(fingerprint)
+    scenarios = _cache_get(_IMPORTANCE_CACHE, fingerprint)
     if scenarios is None:
         scenarios = importance_scenarios(
             target.record, context.ft, target.faults.k
@@ -65,17 +95,119 @@ def _importance_of(context: InjectContext, target: InjectTarget,
     return scenarios
 
 
+def _importance_slice(context: InjectContext, target: InjectTarget,
+                      fingerprint: str, spec: ShardSpec) -> list[FaultScenario]:
+    ranked = _importance_of(context, target, fingerprint)
+    if spec.hi > len(ranked):
+        raise SimulationError(
+            f"importance shard [{spec.lo}, {spec.hi}) exceeds the "
+            f"{len(ranked)}-scenario importance list (planner and "
+            "worker disagree on the target)"
+        )
+    return ranked[spec.lo:spec.hi]
+
+
 def run_shard(
     target: InjectTarget,
     spec: ShardSpec,
     target_fp: str | None = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> ShardResult:
-    """Execute one shard against its target and summarize the outcome."""
+    """Execute one shard against its target and summarize the outcome.
+
+    ``batch_size`` columns flow through the batched replay kernel per
+    block; ``0`` (or ``None``) replays scenario-by-scenario through the
+    scalar simulator instead.  Both paths produce byte-identical
+    results — the batch tier is the throughput engine, the scalar tier
+    the reference and exemplar replay fallback.
+    """
     fingerprint = target_fp or target.fingerprint()
     context = cached_context(target, fingerprint)
     started = time.perf_counter()
+    result = ShardResult(
+        fingerprint=shard_fingerprint(fingerprint, spec),
+        spec=spec,
+        scenarios=0,
+        draws=0,
+        violation_draws=0,
+        violation_scenarios=0,
+    )
+    stratum_key = spec.stratum if spec.stratum is not None else -1
+    if batch_size:
+        _run_shard_batched(
+            context, target, spec, fingerprint, result, stratum_key,
+            batch_size,
+        )
+    else:
+        _run_shard_scalar(
+            context, target, spec, fingerprint, result, stratum_key
+        )
+    result.elapsed_s = time.perf_counter() - started
+    return result
 
+
+# -- shared fold -------------------------------------------------------------
+
+
+def _fold_violations(
+    result: ShardResult,
+    violations,
+    scenario: FaultScenario,
+    draws: int,
+    offset: int,
+    spec: ShardSpec,
+    stratum_key: int,
+) -> None:
+    """Fold one violating scenario's classified violations (both paths)."""
+    result.violation_scenarios += 1
+    result.violation_draws += draws
+    order = (spec.wave, stratum_key, spec.lo, offset)
+    for violation in violations:
+        result.class_counts[violation.kind] = (
+            result.class_counts.get(violation.kind, 0) + 1
+        )
+        current = result.exemplars.get(violation.kind)
+        if current is None or order < current.order:
+            result.exemplars[violation.kind] = Exemplar(
+                order=order,
+                failures=dict(scenario.failures),
+                subject=violation.subject,
+                detail=violation.detail,
+            )
+
+
+def _stratified_trials(space: ScenarioSpace, spec: ShardSpec):
+    """Distinct draw indices with multiplicities, in first-draw order.
+
+    Returns ``(distinct, multiplicity, first_offset)`` — the exact
+    dedup the scalar path performs, shared so both paths derive the same
+    RNG stream from the shard's coordinate label.
+    """
+    size = space.stratum_size(spec.stratum)
+    rng = random.Random(spec.rng_label())
+    first_offset: dict[int, int] = {}
+    multiplicity: Counter[int] = Counter()
+    for offset in range(spec.draws):
+        index = rng.randrange(size)
+        multiplicity[index] += 1
+        first_offset.setdefault(index, offset)
+    distinct = sorted(first_offset, key=first_offset.get)
+    return distinct, multiplicity, first_offset
+
+
+# -- scalar reference path ---------------------------------------------------
+
+
+def _run_shard_scalar(
+    context: InjectContext,
+    target: InjectTarget,
+    spec: ShardSpec,
+    fingerprint: str,
+    result: ShardResult,
+    stratum_key: int,
+) -> None:
     # (scenario, draw multiplicity, offset of first draw) in shard order.
+    marked = time.perf_counter()
     trials: list[tuple[FaultScenario, int, int]]
     if spec.tier == TIER_EXHAUSTIVE:
         space = _space_of(context, target, fingerprint)
@@ -87,66 +219,135 @@ def run_shard(
         ]
     elif spec.tier == TIER_STRATIFIED:
         space = _space_of(context, target, fingerprint)
-        size = space.stratum_size(spec.stratum)
-        rng = random.Random(spec.rng_label())
-        first_offset: dict[int, int] = {}
-        multiplicity: Counter[int] = Counter()
-        for offset in range(spec.draws):
-            index = rng.randrange(size)
-            multiplicity[index] += 1
-            first_offset.setdefault(index, offset)
+        distinct, multiplicity, first_offset = _stratified_trials(space, spec)
         trials = [
             (
                 space.scenario(space.unrank(spec.stratum, index)),
                 multiplicity[index],
                 first_offset[index],
             )
-            for index in sorted(first_offset, key=first_offset.get)
+            for index in distinct
         ]
     elif spec.tier == TIER_IMPORTANCE:
-        ranked = _importance_of(context, target, fingerprint)
-        if spec.hi > len(ranked):
-            raise SimulationError(
-                f"importance shard [{spec.lo}, {spec.hi}) exceeds the "
-                f"{len(ranked)}-scenario importance list (planner and "
-                "worker disagree on the target)"
-            )
         trials = [
             (scenario, 1, offset)
-            for offset, scenario in enumerate(ranked[spec.lo:spec.hi])
+            for offset, scenario in enumerate(
+                _importance_slice(context, target, fingerprint, spec)
+            )
         ]
     else:  # pragma: no cover - ShardSpec validates tiers
         raise SimulationError(f"unknown shard tier {spec.tier!r}")
+    result.materialize_s += time.perf_counter() - marked
 
-    stratum_key = spec.stratum if spec.stratum is not None else -1
-    result = ShardResult(
-        fingerprint=shard_fingerprint(fingerprint, spec),
-        spec=spec,
-        scenarios=0,
-        draws=0,
-        violation_draws=0,
-        violation_scenarios=0,
-    )
     for scenario, draws, offset in trials:
         result.scenarios += 1
         result.draws += draws
+        marked = time.perf_counter()
         violations = check_scenario(context.simulator, scenario)
+        result.simulate_s += time.perf_counter() - marked
         if not violations:
             continue
-        result.violation_scenarios += 1
-        result.violation_draws += draws
-        order = (spec.wave, stratum_key, spec.lo, offset)
-        for violation in violations:
-            result.class_counts[violation.kind] = (
-                result.class_counts.get(violation.kind, 0) + 1
+        marked = time.perf_counter()
+        _fold_violations(
+            result, violations, scenario, draws, offset, spec, stratum_key
+        )
+        result.fold_s += time.perf_counter() - marked
+
+
+# -- batched hot path --------------------------------------------------------
+
+
+def _run_shard_batched(
+    context: InjectContext,
+    target: InjectTarget,
+    spec: ShardSpec,
+    fingerprint: str,
+    result: ShardResult,
+    stratum_key: int,
+    batch_size: int,
+) -> None:
+    """Stream the shard through the columnar kernel, block by block.
+
+    Per block: materialize a count matrix, one ``run_batch`` call, one
+    ``BatchChecker`` pass, then scalar re-classification of the (rare)
+    violating columns so messages and exemplar orders match the scalar
+    path exactly.
+    """
+    space = _space_of(context, target, fingerprint)
+    batch = context.batch
+    checker = context.checker
+    ids = space.ids
+
+    def replay_block(matrix, describe_column):
+        """(matrix → masks → scalar re-check of violators) for one block."""
+        marked = time.perf_counter()
+        replay = batch.run_batch(matrix, ids=ids)
+        result.simulate_s += time.perf_counter() - marked
+        marked = time.perf_counter()
+        report = checker.check(replay)
+        columns = report.violating_columns()
+        result.classify_s += time.perf_counter() - marked
+        for j in columns:
+            scenario, draws, offset = describe_column(int(j))
+            marked = time.perf_counter()
+            violations = check_scenario(context.simulator, scenario)
+            result.classify_s += time.perf_counter() - marked
+            if not violations:  # pragma: no cover - masks mirror the scalar
+                continue
+            marked = time.perf_counter()
+            _fold_violations(
+                result, violations, scenario, draws, offset, spec,
+                stratum_key,
             )
-            current = result.exemplars.get(violation.kind)
-            if current is None or order < current.order:
-                result.exemplars[violation.kind] = Exemplar(
-                    order=order,
-                    failures=dict(scenario.failures),
-                    subject=violation.subject,
-                    detail=violation.detail,
-                )
-    result.elapsed_s = time.perf_counter() - started
-    return result
+            result.fold_s += time.perf_counter() - marked
+
+    if spec.tier == TIER_EXHAUSTIVE:
+        for lo in range(spec.lo, spec.hi, batch_size):
+            hi = min(lo + batch_size, spec.hi)
+            marked = time.perf_counter()
+            matrix = space.counts_range(spec.stratum, lo, hi)
+            result.materialize_s += time.perf_counter() - marked
+            result.scenarios += hi - lo
+            result.draws += hi - lo
+            replay_block(
+                matrix,
+                lambda j, lo=lo, matrix=matrix: (
+                    space.scenario(matrix[:, j]), 1, lo - spec.lo + j
+                ),
+            )
+    elif spec.tier == TIER_STRATIFIED:
+        marked = time.perf_counter()
+        distinct, multiplicity, first_offset = _stratified_trials(space, spec)
+        result.materialize_s += time.perf_counter() - marked
+        for lo in range(0, len(distinct), batch_size):
+            chunk = distinct[lo:lo + batch_size]
+            marked = time.perf_counter()
+            matrix = space.sample_counts(spec.stratum, chunk)
+            result.materialize_s += time.perf_counter() - marked
+            result.scenarios += len(chunk)
+            result.draws += sum(multiplicity[index] for index in chunk)
+            replay_block(
+                matrix,
+                lambda j, chunk=chunk, matrix=matrix: (
+                    space.scenario(matrix[:, j]),
+                    multiplicity[chunk[j]],
+                    first_offset[chunk[j]],
+                ),
+            )
+    elif spec.tier == TIER_IMPORTANCE:
+        marked = time.perf_counter()
+        ranked = _importance_slice(context, target, fingerprint, spec)
+        result.materialize_s += time.perf_counter() - marked
+        for lo in range(0, len(ranked), batch_size):
+            chunk = ranked[lo:lo + batch_size]
+            marked = time.perf_counter()
+            matrix = space.counts_matrix(chunk)
+            result.materialize_s += time.perf_counter() - marked
+            result.scenarios += len(chunk)
+            result.draws += len(chunk)
+            replay_block(
+                matrix,
+                lambda j, lo=lo, chunk=chunk: (chunk[j], 1, lo + j),
+            )
+    else:  # pragma: no cover - ShardSpec validates tiers
+        raise SimulationError(f"unknown shard tier {spec.tier!r}")

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Iterator, Mapping, Sequence
 
+import numpy as np
+
 from repro.errors import SimulationError
 from repro.model.ftgraph import FTGraph
 from repro.sim.faults import FaultScenario
@@ -193,13 +195,71 @@ class ScenarioSpace:
                 return
         raise SimulationError("advanced past the end of the stratum")
 
+    # -- array-native materialization ---------------------------------------
+
+    def counts_range(self, t: int, lo: int, hi: int) -> np.ndarray:
+        """Stratum-``t`` count vectors ``lo..hi`` as an ``(n, hi-lo)`` matrix.
+
+        Column ``j`` is the vector at index ``lo + j`` — the same order
+        :meth:`iter_range` yields, produced by the same unrank-then-step
+        walk, but written straight into an int64 matrix so the batched
+        simulator's hot path allocates no per-scenario tuples or
+        :class:`FaultScenario` objects.
+        """
+        size = self.stratum_size(t)
+        if not 0 <= lo <= hi <= size:
+            raise SimulationError(
+                f"range [{lo}, {hi}) outside stratum {t} (size {size})"
+            )
+        # Built transposed — row writes from the successor walk are
+        # contiguous — and returned as a view; run_batch's alignment
+        # gather re-copies into layout order anyway.
+        out = np.empty((hi - lo, len(self.caps)), dtype=np.int64)
+        if lo == hi:
+            return out.T
+        counts = list(self.unrank(t, lo))
+        out[0] = counts
+        for j in range(1, hi - lo):
+            self._advance(counts)
+            out[j] = counts
+        return out.T
+
+    def sample_counts(self, t: int, indices: Sequence[int]) -> np.ndarray:
+        """Arbitrary stratum-``t`` indices as an ``(n, len(indices))`` matrix.
+
+        The stratified tier's draws are not contiguous, so each column is
+        a full unranking; column ``j`` is ``unrank(t, indices[j])``.
+        """
+        out = np.empty((len(indices), len(self.caps)), dtype=np.int64)
+        for j, index in enumerate(indices):
+            out[j] = self.unrank(t, index)
+        return out.T
+
+    def counts_matrix(self, scenarios: Sequence[FaultScenario]) -> np.ndarray:
+        """Explicit scenarios (e.g. the importance list) as a count matrix."""
+        index_of = {iid: i for i, iid in enumerate(self.ids)}
+        out = np.zeros((len(self.ids), len(scenarios)), dtype=np.int64)
+        for j, scenario in enumerate(scenarios):
+            for iid, count in scenario.failures.items():
+                try:
+                    out[index_of[iid], j] = count
+                except KeyError:
+                    raise SimulationError(
+                        f"scenario names unknown instance {iid!r}"
+                    ) from None
+        return out
+
     # -- scenario construction --------------------------------------------
 
     def scenario(self, counts: Sequence[int]) -> FaultScenario:
-        """Materialize a count vector as a :class:`FaultScenario`."""
+        """Materialize a count vector as a :class:`FaultScenario`.
+
+        Counts are coerced to Python ints so columns sliced from numpy
+        matrices serialize and ``repr`` identically to the scalar path.
+        """
         return FaultScenario(
             failures={
-                iid: f for iid, f in zip(self.ids, counts) if f > 0
+                iid: int(f) for iid, f in zip(self.ids, counts) if f > 0
             }
         )
 

@@ -37,16 +37,26 @@ from repro.model.ftgraph import FTGraph, build_ft_graph
 from repro.model.merge import merge_application
 from repro.opt.implementation import Implementation
 from repro.schedule.record import ScheduleRecord
+from repro.sim.batch import BatchSimulator
 from repro.sim.engine import SystemSimulator
+from repro.sim.validate import BatchChecker
 
 
 @dataclass(frozen=True)
 class InjectContext:
-    """Rebuilt replay context of one target (derived, worker-side)."""
+    """Rebuilt replay context of one target (derived, worker-side).
+
+    Carries both replay tiers: the scalar :class:`SystemSimulator`
+    (exemplar detail, fallback) and the columnar :class:`BatchSimulator`
+    plus its compiled :class:`BatchChecker` (the shard hot path) — all
+    derived from the same record, compiled once per target.
+    """
 
     merged: ProcessGraph
     ft: FTGraph
     simulator: SystemSimulator
+    batch: BatchSimulator
+    checker: BatchChecker
 
 
 @dataclass(frozen=True)
@@ -98,7 +108,12 @@ class InjectTarget:
         simulator = SystemSimulator.from_record(
             self.record, merged, ft, self.faults, self.implementation.bus
         )
-        return InjectContext(merged=merged, ft=ft, simulator=simulator)
+        batch = BatchSimulator(simulator)
+        checker = BatchChecker(simulator.schedule, batch)
+        return InjectContext(
+            merged=merged, ft=ft, simulator=simulator,
+            batch=batch, checker=checker,
+        )
 
 
 # -- worker-side context cache ------------------------------------------------
@@ -111,15 +126,19 @@ _CONTEXT_CACHE_LIMIT = 4
 
 
 def cached_context(target: InjectTarget, fingerprint: str) -> InjectContext:
-    """The target's replay context, via the bounded worker-side cache."""
-    context = _CONTEXT_CACHE.get(fingerprint)
+    """The target's replay context, via the bounded worker-side LRU cache.
+
+    Hits move the entry to the back of the insertion order, so eviction
+    drops the *least recently used* fingerprint — a worker interleaving
+    shards of more than ``_CONTEXT_CACHE_LIMIT`` targets never evicts
+    the context it is actively replaying against.
+    """
+    context = _CONTEXT_CACHE.pop(fingerprint, None)
     if context is None:
         context = target.build_context()
         if len(_CONTEXT_CACHE) >= _CONTEXT_CACHE_LIMIT:
-            # Sweeps drain one target at a time; dropping the oldest
-            # insertion keeps the common case (one hot target) resident.
             _CONTEXT_CACHE.pop(next(iter(_CONTEXT_CACHE)))
-        _CONTEXT_CACHE[fingerprint] = context
+    _CONTEXT_CACHE[fingerprint] = context
     return context
 
 

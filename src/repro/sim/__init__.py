@@ -8,6 +8,7 @@ scenario of at most *k* transient faults — i.e. that the analytical bounds
 of :mod:`repro.schedule.analysis` are honoured from below.
 """
 
+from repro.sim.batch import BatchResult, BatchSimulator
 from repro.sim.engine import SimulationResult, SystemSimulator, simulate
 from repro.sim.faults import (
     FaultScenario,
@@ -16,9 +17,20 @@ from repro.sim.faults import (
     sample_scenarios,
 )
 from repro.sim.trace import build_trace, format_trace, trace_to_csv, trace_to_json
-from repro.sim.validate import ValidationReport, assert_fault_tolerant, validate_schedule
+from repro.sim.validate import (
+    BatchChecker,
+    BatchReport,
+    ValidationReport,
+    assert_fault_tolerant,
+    check_batch,
+    validate_schedule,
+)
 
 __all__ = [
+    "BatchChecker",
+    "BatchReport",
+    "BatchResult",
+    "BatchSimulator",
     "FaultScenario",
     "SimulationResult",
     "SystemSimulator",
@@ -26,6 +38,7 @@ __all__ = [
     "adversarial_scenarios",
     "assert_fault_tolerant",
     "build_trace",
+    "check_batch",
     "enumerate_scenarios",
     "format_trace",
     "sample_scenarios",

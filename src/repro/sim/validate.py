@@ -19,6 +19,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.errors import FaultToleranceViolation
 from repro.model.application import ProcessGraph
 from repro.model.fault import FaultModel
@@ -199,6 +201,109 @@ def check_scenario(
                 )
             )
     return violations
+
+
+@dataclass
+class BatchReport:
+    """Per-kind ``(B,)`` violation masks of one batched replay.
+
+    ``masks[kind][j]`` is True iff scalar :func:`check_scenario` on
+    column ``j``'s scenario would report at least one violation of
+    ``kind`` — the contract that lets the injection runner classify
+    whole blocks with array comparisons and re-materialize *only* the
+    violating columns as :class:`FaultScenario` objects for exemplar
+    detail.
+    """
+
+    masks: dict[str, np.ndarray]
+    violating: np.ndarray  # OR over the kinds
+
+    @property
+    def columns(self) -> int:
+        return int(self.violating.shape[0])
+
+    def violating_columns(self) -> np.ndarray:
+        """Indices of columns with at least one violation, ascending."""
+        return np.flatnonzero(self.violating)
+
+
+class BatchChecker:
+    """Compiled array form of :func:`check_scenario`'s bound checks.
+
+    The analytical thresholds (per-instance WCF, per-process guaranteed
+    completion and deadline) are precomputed *with the epsilon already
+    added* — one float addition per bound, the same single operation the
+    scalar comparison performs — so the array comparisons agree with the
+    scalar path bit for bit.
+    """
+
+    def __init__(self, schedule: SystemSchedule, batch) -> None:
+        self.schedule = schedule
+        self.k = schedule.faults.k
+        placements = schedule.placements
+        self._wcf_thr = np.asarray(
+            [placements[iid].wcf + _EPS for iid in batch.instance_ids],
+            dtype=np.float64,
+        )[:, None]
+        completions = schedule.completions
+        graph = schedule.graph
+        guaranteed = []
+        deadlines = []
+        for process in batch.processes:
+            guaranteed.append(completions[process] + _EPS)
+            deadline = graph.process(process).deadline
+            deadlines.append(np.inf if deadline is None else deadline + _EPS)
+        self._guaranteed_thr = np.asarray(guaranteed, dtype=np.float64)[:, None]
+        self._deadline_thr = np.asarray(deadlines, dtype=np.float64)[:, None]
+
+    def check(self, result) -> BatchReport:
+        """Classify every column of a :class:`~repro.sim.batch.BatchResult`.
+
+        Raises :class:`FaultToleranceViolation` — with the scalar
+        message, naming the first offending column's scenario — when any
+        column spends more than ``k`` faults, mirroring the guard at the
+        top of :func:`check_scenario`.
+        """
+        totals = result.failures.sum(axis=0)
+        if totals.size and int(totals.max()) > self.k:
+            column = int(np.argmax(totals > self.k))
+            scenario = FaultScenario(failures={
+                iid: int(count)
+                for iid, count in zip(
+                    result.sim.instance_ids, result.failures[:, column]
+                )
+                if count
+            })
+            raise FaultToleranceViolation(
+                f"scenario {scenario.describe()} exceeds the fault model "
+                f"(k={self.k})"
+            )
+        alive = result.process_alive
+        masks = {
+            "starved": result.starved.any(axis=0),
+            "dead_process": (~alive).any(axis=0),
+            "wcf_exceeded": (
+                result.produced & (result.finish > self._wcf_thr)
+            ).any(axis=0),
+            "completion_exceeded": (
+                alive & (result.completions > self._guaranteed_thr)
+            ).any(axis=0),
+            "deadline_missed": (
+                alive & (result.completions > self._deadline_thr)
+            ).any(axis=0),
+        }
+        violating = np.zeros(result.columns, dtype=bool)
+        for mask in masks.values():
+            violating |= mask
+        return BatchReport(masks=masks, violating=violating)
+
+
+def check_batch(schedule: SystemSchedule, result,
+                checker: BatchChecker | None = None) -> BatchReport:
+    """One-shot batched classification (compiles a throwaway checker)."""
+    if checker is None:
+        checker = BatchChecker(schedule, result.sim)
+    return checker.check(result)
 
 
 def _check_one(

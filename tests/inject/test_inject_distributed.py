@@ -82,13 +82,18 @@ def test_killed_worker_then_resume_matches_uninterrupted(
     finally:
         resumed.close()
 
-    inline, inline_stats = run_inject_sweep(small_target, plan)
+    # The resumed sweep's workers replayed through the batched kernel;
+    # it must fold to the same aggregate as an uninterrupted inline run
+    # on the *scalar* reference path (batch_size=0) — the cross-path,
+    # cross-process byte-equality contract of the batch tier.
+    inline, inline_stats = run_inject_sweep(small_target, plan, batch_size=0)
     assert inline_stats.completed == len(plan.shards)
     resumed_summary = aggregate.to_dict()
     inline_summary = inline.to_dict()
     for summary in (resumed_summary, inline_summary):
         summary.pop("elapsed_s")
         summary.pop("scenarios_per_sec")
+        summary.pop("phase_s")
     assert resumed_summary == inline_summary
 
 

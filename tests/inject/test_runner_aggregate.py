@@ -93,8 +93,9 @@ def test_stratified_shards_are_reproducible(replicated_target):
     fingerprint = replicated_target.fingerprint()
     first = run_shard(replicated_target, spec, fingerprint).to_dict()
     second = run_shard(replicated_target, spec, fingerprint).to_dict()
-    first.pop("elapsed_s")
-    second.pop("elapsed_s")
+    for summary in (first, second):
+        summary.pop("elapsed_s")
+        summary.pop("phase_s")
     assert first == second
     # Draws-with-replacement: trials may exceed unique scenarios, never
     # the other way around.
@@ -157,7 +158,11 @@ def test_worker_dispatches_inject_shards(small_target):
 
     aggregate = InjectAggregate(plan=plan)
     for fingerprint in fingerprints:
-        aggregate.fold(decode_shard_result(broker.result(fingerprint)))
+        result = decode_shard_result(broker.result(fingerprint))
+        # Workers replay through the batched kernel, not the scalar
+        # loop: only the batch path spends classify time per block.
+        assert result.classify_s > 0.0
+        aggregate.fold(result)
     assert aggregate.complete
     inline, _ = run_inject_sweep(small_target, plan)
     queued_summary = aggregate.to_dict()
@@ -165,7 +170,76 @@ def test_worker_dispatches_inject_shards(small_target):
     for summary in (queued_summary, inline_summary):
         summary.pop("elapsed_s")
         summary.pop("scenarios_per_sec")
+        summary.pop("phase_s")
     assert queued_summary == inline_summary
+
+
+def test_batched_shards_match_scalar_reference(replicated_target):
+    """Every tier, every shard: batch path == scalar path, byte for byte.
+
+    Small odd block widths force multi-block streaming with ragged final
+    blocks; 0 is the scalar reference."""
+    plan = make_plan(replicated_target, budget=400, shard_size=64)
+    fingerprint = replicated_target.fingerprint()
+    assert {s.tier for s in plan.shards} >= {"importance", "stratified"}
+    for spec in plan.shards:
+        summaries = [
+            run_shard(
+                replicated_target, spec, fingerprint, batch_size=batch_size
+            ).to_dict()
+            for batch_size in (0, 7, 1024)
+        ]
+        for summary in summaries:
+            summary.pop("elapsed_s")
+            summary.pop("phase_s")
+        assert summaries[0] == summaries[1] == summaries[2]
+
+
+def test_shard_phase_timings_cover_the_work(small_target):
+    plan = make_plan(small_target, shard_size=32)
+    result = run_shard(small_target, plan.shards[0], small_target.fingerprint())
+    phases = result.to_dict()["phase_s"]
+    assert set(phases) == {"materialize", "simulate", "classify", "fold"}
+    assert all(value >= 0.0 for value in phases.values())
+    assert sum(phases.values()) <= result.elapsed_s
+    assert phases["simulate"] > 0.0  # the batch replay actually ran
+
+
+def test_derived_caches_are_lru(small_target, monkeypatch):
+    """A hit must move the fingerprint to the back of the eviction order.
+
+    Regression: FIFO eviction dropped the *active* target's space cache
+    when more than the limit of fingerprints interleaved on one worker —
+    the hot entry had the oldest insertion precisely because it kept
+    getting hit instead of re-inserted."""
+    import repro.inject.runner as runner
+
+    monkeypatch.setattr(runner, "_SPACE_CACHE", {})
+    context = small_target.build_context()
+    space = runner._space_of(context, small_target, "hot")
+    # Fill the cache to its limit around the hot entry...
+    for cold in range(runner._DERIVED_CACHE_LIMIT - 1):
+        runner._space_of(context, small_target, f"cold-a-{cold}")
+    # ...touch the hot entry (hit), then force one eviction with a new
+    # fingerprint: LRU must drop the stalest cold entry, not "hot".
+    assert runner._space_of(context, small_target, "hot") is space
+    runner._space_of(context, small_target, "cold-b")
+    assert "hot" in runner._SPACE_CACHE
+    assert runner._space_of(context, small_target, "hot") is space
+    assert "cold-a-0" not in runner._SPACE_CACHE  # the true LRU victim
+
+
+def test_context_cache_is_lru(small_target, monkeypatch):
+    import repro.inject.target as target_module
+
+    monkeypatch.setattr(target_module, "_CONTEXT_CACHE", {})
+    hot = target_module.cached_context(small_target, "hot")
+    for cold in range(target_module._CONTEXT_CACHE_LIMIT - 1):
+        target_module.cached_context(small_target, f"cold-a-{cold}")
+    assert target_module.cached_context(small_target, "hot") is hot
+    target_module.cached_context(small_target, "cold-b")
+    assert target_module.cached_context(small_target, "hot") is hot
+    assert "cold-a-0" not in target_module._CONTEXT_CACHE
 
 
 def test_aggregate_dict_shapes(small_target):
