@@ -103,6 +103,11 @@ def test_pipeline_throughput_records_bench_json():
       re-priced exactly through the delta kernel.
       ``speedup_vs_delta`` is the wall-clock ratio against the all-exact
       delta pass on identical work.
+    * ``obs.overhead_pct`` — the telemetry tax: the same strategy run
+      with ``--trace`` enabled against its untraced twin (best-of
+      windows each).  ``scripts/check_bench_regression.py`` holds this
+      under an absolute ceiling, so span writes creeping into a hot loop
+      fail CI instead of silently taxing every traced sweep.
     """
     from benchmarks.conftest import bench_stamp
     from repro.opt.moves import generate_moves
@@ -185,6 +190,26 @@ def test_pipeline_throughput_records_bench_json():
     pipeline_elapsed = time.perf_counter() - started
     requests = result.evaluations + result.cache_hits
 
+    # Telemetry tax: the identical strategy run traced vs untraced.
+    import os
+    import tempfile
+
+    from repro import obs
+
+    def _pipeline_window():
+        optimize(
+            case.application, case.architecture, case.faults, "MXR", config
+        )
+
+    untraced_s = _best_of(2, _pipeline_window)
+    with tempfile.TemporaryDirectory() as tmp:
+        obs.enable_tracing(os.path.join(tmp, "bench.jsonl"), label="bench")
+        try:
+            traced_s = _best_of(2, _pipeline_window)
+        finally:
+            obs.disable_tracing()
+    obs_overhead_pct = 100.0 * (traced_s - untraced_s) / untraced_s
+
     record = {
         "case": {"n_processes": 40, "n_nodes": 3, "k": 4, "mu": 5.0, "seed": 0},
         "stamp": bench_stamp(),
@@ -208,6 +233,11 @@ def test_pipeline_throughput_records_bench_json():
             "evaluations": result.evaluations,  # design pricings (cache misses)
             "elapsed_s": round(pipeline_elapsed, 3),
             "cache_bound": info.bound,  # Evaluator DEFAULT_CACHE_SIZE
+        },
+        "obs": {
+            "overhead_pct": round(obs_overhead_pct, 2),
+            "untraced_s": round(untraced_s, 3),
+            "traced_s": round(traced_s, 3),
         },
     }
     BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")

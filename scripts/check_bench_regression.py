@@ -26,6 +26,17 @@ Gated metrics (per file, dotted paths into the JSON record):
       its explicit batch-tier name (guards against the sweep silently
       falling back to the scalar path).
 
+On top of the drop-vs-baseline gates, a few metrics carry *absolute
+ceilings* — smaller is better and the bound does not move with the
+committed baseline:
+
+``BENCH_scheduler.json``
+    * ``obs.overhead_pct`` ≤ 15 — wall-clock cost of running the
+      scaled-down strategy benchmark with ``--trace`` enabled, in
+      percent over its untraced twin.  Guards against span writes or
+      metric bookkeeping creeping into a per-evaluation hot loop (the
+      intended instrumentation granularity is per phase/pass).
+
 Usage (CI runs it right after the smoke benchmarks regenerate the
 files)::
 
@@ -66,6 +77,13 @@ GATED = (
             "inject.batch.scenarios_per_sec",
         ),
     ),
+)
+
+#: Per benchmark record, (dotted path, inclusive ceiling) pairs gated
+#: absolutely: the fresh measurement must not exceed the ceiling,
+#: regardless of what the committed baseline says.
+CEILINGS = (
+    ("BENCH_scheduler.json", (("obs.overhead_pct", 15.0),)),
 )
 
 
@@ -160,6 +178,43 @@ def check_file(
     return failures
 
 
+def check_ceilings(
+    root: Path, filename: str, bounds: tuple[tuple[str, float], ...]
+) -> list[str]:
+    """Gate absolute ceilings of one record; returns breached metrics."""
+    current_path = root / filename
+    if not current_path.exists():
+        # The relative gate already decides whether a missing file is a
+        # regression; ceilings only judge fresh measurements.
+        return []
+    current = json.loads(current_path.read_text())
+    baseline = baseline_record(root, filename)
+    failures = []
+    for metric, ceiling in bounds:
+        measured = lookup(current, metric)
+        if measured is None:
+            if baseline is not None and lookup(baseline, metric) is not None:
+                print(
+                    f"perf gate: {metric} missing from the fresh {filename} "
+                    "— REGRESSION (the benchmark stopped recording it)"
+                )
+                failures.append(metric)
+            else:
+                print(
+                    f"perf gate: {metric} not measured and not in the "
+                    "committed baseline — skipping its ceiling"
+                )
+            continue
+        verdict = "OK" if measured <= ceiling else "REGRESSION"
+        print(
+            f"perf gate [{verdict}]: {metric} measured {measured:.2f} "
+            f"vs absolute ceiling {ceiling:.2f}"
+        )
+        if measured > ceiling:
+            failures.append(metric)
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -182,12 +237,14 @@ def main(argv: list[str] | None = None) -> int:
     failures: list[str] = []
     for filename, metrics in GATED:
         failures.extend(check_file(root, filename, metrics, args.allowed_drop))
+    for filename, bounds in CEILINGS:
+        failures.extend(check_ceilings(root, filename, bounds))
 
     if failures:
         print(
-            "The pipeline is more than "
-            f"{args.allowed_drop:.0%} slower than the committed baseline "
-            f"on: {', '.join(failures)}.\n"
+            "The pipeline regressed against the committed baseline "
+            f"(more than {args.allowed_drop:.0%} slower, or over an "
+            f"absolute ceiling) on: {', '.join(failures)}.\n"
             "If the slowdown is intended (heavier analysis, measurement "
             "environment change), either regenerate the committed "
             "BENCH_*.json on the PR or apply the "

@@ -25,7 +25,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import ConfigurationError
+from repro import obs
+from repro.errors import ConfigurationError, TraceError
 from repro.experiments.cruise import run_cruise_experiment
 from repro.experiments.figure10 import figure10
 from repro.experiments.reporting import (
@@ -83,7 +84,22 @@ def _jobs_arg(value: str) -> int:
         raise argparse.ArgumentTypeError(str(error)) from None
 
 
+def _add_trace(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a structured JSONL run trace to FILE (spans, events, "
+            "metrics snapshots); locally spawned workers write sibling "
+            "shard files FILE.<worker>, stitched back together by "
+            "'ftds trace summarize FILE'"
+        ),
+    )
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
+    _add_trace(parser)
     parser.add_argument("--seeds", type=int, default=3, help="random apps per row")
     parser.add_argument(
         "--time-scale",
@@ -154,7 +170,10 @@ def main(argv: list[str] | None = None) -> int:
         sub = subparsers.add_parser(name, help=help_text)
         _add_common(sub)
 
-    subparsers.add_parser("cc", help="cruise controller experiment (paper §6)")
+    cc = subparsers.add_parser(
+        "cc", help="cruise controller experiment (paper §6)"
+    )
+    _add_trace(cc)
 
     worker = subparsers.add_parser(
         "worker",
@@ -162,6 +181,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     worker.add_argument(
         "--broker", required=True, metavar="PATH", help="SQLite broker file"
+    )
+    _add_trace(worker)
+    worker.add_argument(
+        "--trace-run",
+        default=None,
+        metavar="RUN_ID",
+        help=(
+            "with --trace: join an existing trace run id (printed by the "
+            "driver) so this worker's shard stitches into the driver's "
+            "trace; defaults to the FTDS_TRACE_RUN environment variable "
+            "or a fresh id"
+        ),
     )
     worker.add_argument(
         "--lease",
@@ -290,6 +321,62 @@ def main(argv: list[str] | None = None) -> int:
     inject.add_argument(
         "--quiet", action="store_true", help="suppress per-shard progress lines"
     )
+    _add_trace(inject)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help=(
+            "analyze JSONL run traces written with --trace: stitch "
+            "multi-worker shards by run id and profile the span tree"
+        ),
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    for name, help_text in (
+        ("summarize", "span tree, self-time profile, queue overhead, "
+                      "cache/tier effectiveness"),
+        ("top", "top span names by self time"),
+        ("export", "merged metrics as Prometheus text or the full summary "
+                   "as JSON"),
+    ):
+        sub = trace_sub.add_parser(name, help=help_text)
+        sub.add_argument(
+            "files",
+            nargs="+",
+            metavar="FILE",
+            help=(
+                "trace file(s); worker shard files FILE.<worker> next to "
+                "a listed file are discovered automatically"
+            ),
+        )
+        sub.add_argument(
+            "--run",
+            default=None,
+            metavar="RUN_ID",
+            help="select one run when the files contain several",
+        )
+    trace_sub.choices["summarize"].add_argument(
+        "--depth",
+        type=_positive_int,
+        default=4,
+        help="span tree depth to print (default 4)",
+    )
+    trace_sub.choices["summarize"].add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary as JSON instead of text",
+    )
+    trace_sub.choices["top"].add_argument(
+        "--limit",
+        type=_positive_int,
+        default=10,
+        help="span names to list (default 10)",
+    )
+    trace_sub.choices["export"].add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default="prometheus",
+        help="export format (default prometheus)",
+    )
 
     validate = subparsers.add_parser(
         "validate", help="optimize one random case and fault-inject the schedule"
@@ -300,6 +387,7 @@ def main(argv: list[str] | None = None) -> int:
     validate.add_argument("--mu", type=float, default=5.0)
     validate.add_argument("--seed", type=int, default=0)
     validate.add_argument("--samples", type=int, default=200)
+    _add_trace(validate)
 
     gantt = subparsers.add_parser(
         "gantt", help="optimize one random case and render the schedule"
@@ -310,6 +398,7 @@ def main(argv: list[str] | None = None) -> int:
     gantt.add_argument("--mu", type=float, default=5.0)
     gantt.add_argument("--seed", type=int, default=0)
     gantt.add_argument("--width", type=int, default=80)
+    _add_trace(gantt)
 
     export = subparsers.add_parser(
         "export", help="optimize one random case and write problem+solution JSON"
@@ -320,10 +409,34 @@ def main(argv: list[str] | None = None) -> int:
     export.add_argument("--k", type=int, default=2)
     export.add_argument("--mu", type=float, default=5.0)
     export.add_argument("--seed", type=int, default=0)
+    _add_trace(export)
 
     args = parser.parse_args(argv)
     progress = None if getattr(args, "quiet", True) else _progress
 
+    if args.command == "trace":
+        return _run_trace(args, parser)
+    if args.command == "worker":
+        return _run_worker(args)
+
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        tracer = obs.enable_tracing(
+            trace_path, label=args.command, export_env=True
+        )
+        print(f"tracing to {trace_path} (run {tracer.run_id})",
+              file=sys.stderr)
+    try:
+        with obs.span(f"cli.{args.command}"):
+            return _dispatch(args, parser, progress)
+    finally:
+        if trace_path:
+            obs.snapshot_metrics()
+            obs.disable_tracing()
+
+
+def _dispatch(args: argparse.Namespace, parser, progress) -> int:
+    """Execute one non-trace subcommand (span-wrapped by :func:`main`)."""
     sweeps = {"table1a": table1a, "table1b": table1b, "table1c": table1c,
               "figure10": figure10}
     if args.command in sweeps:
@@ -354,8 +467,6 @@ def main(argv: list[str] | None = None) -> int:
             print(format_table1(rows, titles[args.command]))
     elif args.command == "cc":
         print(format_cruise(run_cruise_experiment()))
-    elif args.command == "worker":
-        return _run_worker(args)
     elif args.command == "inject":
         return _run_inject(args, parser, progress)
     elif args.command == "validate":
@@ -368,20 +479,34 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _run_worker(args: argparse.Namespace) -> int:
+    import os
+
     from repro.queue.sqlite import SqliteBroker
     from repro.queue.worker import (
         DEFAULT_LEASE_S,
         DEFAULT_VALIDATE_SAMPLES,
         Worker,
+        default_worker_id,
     )
 
     validate_samples: int | None = DEFAULT_VALIDATE_SAMPLES
     if args.validate_samples is not None:
         validate_samples = args.validate_samples or None  # 0 disables
+    worker_id = default_worker_id()
+    tracer = None
+    if args.trace:
+        # A remote worker stitches into the driver's trace by sharing its
+        # run id (--trace-run, printed by a tracing driver); the shard file
+        # is local to this machine and is merged at analysis time.
+        run_id = args.trace_run or os.environ.get(obs.TRACE_RUN_ENV) or None
+        tracer = obs.enable_tracing(args.trace, run_id=run_id, worker=worker_id)
+    else:
+        tracer = obs.adopt_env_tracing(worker_id)
     broker = SqliteBroker(args.broker)
     try:
         worker = Worker(
             broker,
+            worker_id=worker_id,
             lease_s=args.lease if args.lease is not None else DEFAULT_LEASE_S,
             validate_samples=validate_samples,
             progress=None if args.quiet else _progress,
@@ -389,8 +514,49 @@ def _run_worker(args: argparse.Namespace) -> int:
         acked = worker.run(drain=args.drain, max_jobs=args.max_jobs)
     finally:
         broker.close()
+        if tracer is not None:
+            tracer.snapshot_metrics()
+            obs.disable_tracing()
     print(f"worker {worker.worker_id}: acked {acked} job(s), "
           f"{worker.failed} failure(s)")
+    return 0
+
+
+def _run_trace(args: argparse.Namespace, parser) -> int:
+    import json as json_module
+
+    from repro.obs.analyze import (
+        format_summary,
+        format_top,
+        load_run,
+        summarize,
+    )
+
+    try:
+        run = load_run(args.files, run_id=args.run)
+        if args.trace_command == "summarize":
+            if args.json:
+                print(json_module.dumps(
+                    summarize(run), indent=2, sort_keys=True
+                ))
+            else:
+                print(format_summary(run, depth=args.depth))
+        elif args.trace_command == "top":
+            print(format_top(run, limit=args.limit))
+        else:  # export
+            if args.format == "prometheus":
+                print(obs.render_prometheus(run.metrics), end="")
+            else:
+                print(json_module.dumps(
+                    summarize(run), indent=2, sort_keys=True
+                ))
+    except TraceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: normal CLI etiquette.
+        sys.stderr.close()
+        return 0
     return 0
 
 
@@ -408,50 +574,54 @@ def _run_inject(args: argparse.Namespace, parser, progress) -> int:
     if args.resume and args.broker is None:
         parser.error("--resume requires --broker")
 
-    case = generate_case(
-        args.processes, args.nodes, args.k, mu=args.mu, seed=args.seed
-    )
-    if args.initial:
-        from repro.model.merge import merge_application
-        from repro.opt.initial import initial_bus_access, initial_mpa
-        from repro.schedule.list_scheduler import list_schedule
+    with obs.span("target"):
+        case = generate_case(
+            args.processes, args.nodes, args.k, mu=args.mu, seed=args.seed
+        )
+        if args.initial:
+            from repro.model.merge import merge_application
+            from repro.opt.initial import initial_bus_access, initial_mpa
+            from repro.schedule.list_scheduler import list_schedule
 
-        merged = merge_application(case.application)
-        bus = initial_bus_access(case.application, case.architecture)
-        implementation = initial_mpa(
-            merged, case.architecture, case.faults, bus
-        )
-        schedule = list_schedule(
-            merged, case.faults, implementation.policies,
-            implementation.mapping, bus,
-        )
-        target = InjectTarget(
-            application=case.application,
-            faults=case.faults,
-            implementation=implementation,
-            record=schedule.record,
-            label=f"initial-{args.processes}p{args.nodes}n-k{args.k}",
-        )
-    else:
-        from repro.opt.strategy import optimize
+            merged = merge_application(case.application)
+            bus = initial_bus_access(case.application, case.architecture)
+            implementation = initial_mpa(
+                merged, case.architecture, case.faults, bus
+            )
+            schedule = list_schedule(
+                merged, case.faults, implementation.policies,
+                implementation.mapping, bus,
+            )
+            target = InjectTarget(
+                application=case.application,
+                faults=case.faults,
+                implementation=implementation,
+                record=schedule.record,
+                label=f"initial-{args.processes}p{args.nodes}n-k{args.k}",
+            )
+        else:
+            from repro.opt.strategy import optimize
 
-        config = budget_for(args.processes)
-        result = optimize(
-            case.application, case.architecture, case.faults, "MXR", config
-        )
-        target = target_from_optimization(result, case.application)
+            config = budget_for(args.processes)
+            result = optimize(
+                case.application, case.architecture, case.faults, "MXR",
+                config,
+            )
+            target = target_from_optimization(result, case.application)
 
-    context = target.build_context()
-    space = ScenarioSpace.of(context.ft, case.faults.k)
-    ranked = importance_scenarios(target.record, context.ft, case.faults.k)
-    plan = plan_sweep(
-        space,
-        len(ranked),
-        budget=args.budget,
-        shard_size=args.shard_size,
-        seed=args.sweep_seed,
-        tier=args.tier,
-    )
+    with obs.span("plan") as sp:
+        context = target.build_context()
+        space = ScenarioSpace.of(context.ft, case.faults.k)
+        ranked = importance_scenarios(target.record, context.ft, case.faults.k)
+        plan = plan_sweep(
+            space,
+            len(ranked),
+            budget=args.budget,
+            shard_size=args.shard_size,
+            seed=args.sweep_seed,
+            tier=args.tier,
+        )
+        sp.set(shards=len(plan.shards))
     print(f"target {target.label}: {plan.describe()}")
 
     broker = None
@@ -460,30 +630,48 @@ def _run_inject(args: argparse.Namespace, parser, progress) -> int:
 
         broker = SqliteBroker(args.broker)
     try:
-        aggregate, stats = run_inject_sweep(
-            target,
-            plan,
-            broker=broker,
-            resume=args.resume,
-            local_workers=args.jobs if broker is not None else 0,
-            alpha=args.alpha,
-            progress=progress,
-            batch_size=(
-                DEFAULT_BATCH_SIZE if args.batch_size is None
-                else args.batch_size
-            ),
-        )
+        with obs.span("sweep", broker=args.broker or "inline"):
+            aggregate, stats = run_inject_sweep(
+                target,
+                plan,
+                broker=broker,
+                resume=args.resume,
+                local_workers=args.jobs if broker is not None else 0,
+                alpha=args.alpha,
+                progress=progress,
+                batch_size=(
+                    DEFAULT_BATCH_SIZE if args.batch_size is None
+                    else args.batch_size
+                ),
+            )
     finally:
         if broker is not None:
             broker.close()
 
-    summary = aggregate.to_dict()
-    if args.json is not None:
-        with open(args.json, "w") as handle:
-            json_module.dump(summary, handle, indent=2, sort_keys=True)
-        print(f"wrote {args.json}")
-    print(stats.summary())
-    print(format_inject(summary))
+    with obs.span("report"):
+        summary = aggregate.to_dict()
+        if args.json is not None:
+            registry = obs.get_registry()
+            # Observability sidecar: registry-backed counts next to (never
+            # inside) the canonical aggregate — the wire/parity surface of
+            # InjectAggregate.to_dict() stays byte-identical.
+            payload = dict(summary)
+            payload["obs"] = {
+                "shards_folded": registry.value("inject.shards_folded"),
+                "queue_dead_letters": registry.value("queue.depth.dead"),
+                "evaluator_cache_hits": registry.value(
+                    "evaluator.cache_hits"
+                ),
+                "evaluator_evaluations": (
+                    registry.value("evaluator.exact_evaluations")
+                    + registry.value("evaluator.ranked_evaluations")
+                ),
+            }
+            with open(args.json, "w") as handle:
+                json_module.dump(payload, handle, indent=2, sort_keys=True)
+            print(f"wrote {args.json}")
+        print(stats.summary())
+        print(format_inject(summary))
     return 0 if summary["ok"] else 1
 
 

@@ -38,3 +38,7 @@ class ExperimentJobError(ReproError):
 
 class QueueError(ReproError):
     """A work-queue operation failed or a sweep dead-lettered jobs."""
+
+
+class TraceError(ReproError):
+    """A telemetry trace artifact is malformed or inconsistent."""

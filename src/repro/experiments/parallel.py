@@ -23,8 +23,10 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from repro import obs
 from repro.errors import ConfigurationError, ExperimentJobError
 from repro.experiments.runner import VariantRun, run_variants
+from repro.obs.progress import ProgressReporter
 from repro.gen.suite import generate_case
 from repro.opt.strategy import OptimizationConfig
 
@@ -130,17 +132,22 @@ def run_case_jobs(
         return results
     if n_jobs == 1 or len(job_list) <= 1:
         results: list[dict[str, VariantRun]] = []
-        for index, job in enumerate(job_list):
+        reporter = ProgressReporter(
+            progress, len(job_list), metric="experiments.jobs"
+        )
+        for job in job_list:
             started = time.monotonic()
-            results.append(run_case_job(job))
-            if progress is not None:
-                progress(
-                    f"[{index + 1}/{len(job_list)}] {job.describe()} "
-                    f"({time.monotonic() - started:.1f}s)"
-                )
+            with obs.span("case", label=job.describe()):
+                results.append(run_case_job(job))
+            reporter.step(
+                job.describe(), elapsed_s=time.monotonic() - started
+            )
         return results
 
     slots: list[dict[str, VariantRun] | None] = [None] * len(job_list)
+    reporter = ProgressReporter(
+        progress, len(job_list), metric="experiments.jobs"
+    )
     workers = min(n_jobs, len(job_list))
     done = 0
     with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -157,11 +164,7 @@ def run_case_jobs(
                     f"experiment job failed: {job_list[index].describe()}"
                 ) from error
             done += 1
-            if progress is not None:
-                progress(
-                    f"[{done}/{len(job_list)}] {job_list[index].describe()} "
-                    f"({elapsed:.1f}s)"
-                )
+            reporter.step(job_list[index].describe(), elapsed_s=elapsed)
     # Aggregators consume results positionally: fail loudly rather than
     # silently shifting rows if a slot were ever left unfilled.
     missing = [i for i, result in enumerate(slots) if result is None]

@@ -270,6 +270,24 @@ class InjectAggregate:
     def scenarios_per_sec(self) -> float:
         return self.scenarios / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
+    def publish_metrics(self, registry=None) -> None:
+        """Mirror the folded totals into ``inject.*`` gauges.
+
+        Gauges (not counters): the aggregate is already a sum over
+        shards, and re-publishing after more folds should overwrite, not
+        double-count.
+        """
+        if registry is None:
+            from repro.obs.metrics import get_registry
+
+            registry = get_registry()
+        registry.set("inject.shards_folded", self.shards_folded)
+        registry.set("inject.scenarios", self.scenarios)
+        registry.set("inject.draws", self.draws)
+        registry.set("inject.violation_scenarios", self.violation_scenarios)
+        registry.set("inject.residual_upper_bound", self.residual_upper_bound())
+        registry.set("inject.scenarios_per_sec", self.scenarios_per_sec())
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe summary (drives reporting and the bench artifact)."""
         return {

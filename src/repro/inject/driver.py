@@ -27,13 +27,20 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import obs
 from repro.errors import ConfigurationError, QueueError
 from repro.inject.aggregate import InjectAggregate
 from repro.inject.partition import shard_fingerprint
 from repro.inject.plan import SamplingPlan
 from repro.inject.runner import DEFAULT_BATCH_SIZE, run_shard
 from repro.inject.target import InjectTarget
-from repro.queue.broker import Broker, DEFAULT_MAX_ATTEMPTS, DONE
+from repro.obs.progress import ProgressReporter
+from repro.queue.broker import (
+    Broker,
+    DEFAULT_MAX_ATTEMPTS,
+    DONE,
+    publish_queue_counts,
+)
 from repro.queue.driver import _spawn_local_workers
 from repro.queue.worker import DEFAULT_LEASE_S
 
@@ -133,6 +140,7 @@ def collect_shards(
     waiting = dict(zip(sweep.fingerprints, sweep.plan.shards))
     total = len(sweep.fingerprints)
     deadline = None if timeout_s is None else time.monotonic() + timeout_s
+    reporter = ProgressReporter(progress, total, metric="inject.results")
     while waiting:
         states = broker.states()
         landed = [fp for fp in waiting if states.get(fp) == DONE]
@@ -141,17 +149,18 @@ def collect_shards(
             result = decode_shard_result(broker.result(fingerprint))
             aggregate.fold(result)
             stats.completed += 1
-            if progress is not None:
-                progress(
-                    f"[{stats.completed}/{total}] {spec.describe()} "
-                    f"({result.scenarios} scenarios, "
+            reporter.step(
+                spec.describe(),
+                note=(
+                    f"{result.scenarios} scenarios, "
                     f"{result.violation_scenarios} violations, "
                     f"residual<={aggregate.residual_upper_bound():.2e}, "
-                    f"{_phase_note(result)})"
-                )
+                    f"{_phase_note(result)}"
+                ),
+            )
         if not waiting:
             break
-        counts = broker.pending()
+        counts = publish_queue_counts(broker.pending())
         if counts.unfinished == 0:
             if broker.dead_letters():
                 _raise_dead_letters(sweep, broker, stats)
@@ -207,24 +216,35 @@ def run_inject_sweep(
     if broker is None:
         stats = InjectSweepStats(total=len(plan.shards))
         target_fp = target.fingerprint()
+        reporter = ProgressReporter(
+            progress, stats.total, metric="inject.results"
+        )
         for spec in plan.shards:
             result = run_shard(target, spec, target_fp, batch_size=batch_size)
             aggregate.fold(result)
             stats.completed += 1
-            if progress is not None:
-                progress(
-                    f"[{stats.completed}/{stats.total}] {spec.describe()} "
-                    f"({result.scenarios} scenarios, "
+            reporter.step(
+                spec.describe(),
+                note=(
+                    f"{result.scenarios} scenarios, "
                     f"{result.violation_scenarios} violations, "
-                    f"{_phase_note(result)})"
-                )
+                    f"{_phase_note(result)}"
+                ),
+            )
+        aggregate.publish_metrics()
         return aggregate, stats
 
-    sweep = enqueue_shards(
-        target, plan, broker, resume=resume, max_attempts=max_attempts
-    )
-    if progress is not None and sweep.stats.checkpoint_hits:
-        progress(
+    with obs.span("enqueue") as sp:
+        sweep = enqueue_shards(
+            target, plan, broker, resume=resume, max_attempts=max_attempts
+        )
+        sp.set(
+            total=sweep.stats.total,
+            enqueued=sweep.stats.enqueued,
+            checkpoint_hits=sweep.stats.checkpoint_hits,
+        )
+    if sweep.stats.checkpoint_hits:
+        ProgressReporter(progress, sweep.stats.total).announce(
             f"resume: {sweep.stats.checkpoint_hits}/{sweep.stats.total} "
             "shard(s) already complete (checkpoint hits)"
         )
@@ -248,6 +268,7 @@ def run_inject_sweep(
         raise
     for worker in workers:
         worker.join(timeout=lease_s + 30.0)
+    aggregate.publish_metrics()
     return aggregate, stats
 
 
@@ -258,6 +279,7 @@ def _raise_dead_letters(
     by_fingerprint = dict(zip(sweep.fingerprints, sweep.plan.shards))
     letters = broker.dead_letters()
     stats.dead = len(letters)
+    obs.get_registry().set("queue.depth.dead", len(letters))
     details = []
     for letter in letters[:10]:
         spec = by_fingerprint.get(letter.fingerprint)

@@ -32,7 +32,9 @@ import random
 import time
 from collections import Counter
 
+from repro import obs
 from repro.errors import SimulationError
+from repro.obs.metrics import MetricsRegistry
 from repro.inject.aggregate import Exemplar, ShardResult
 from repro.inject.importance import importance_scenarios
 from repro.inject.partition import (
@@ -133,16 +135,36 @@ def run_shard(
         violation_scenarios=0,
     )
     stratum_key = spec.stratum if spec.stratum is not None else -1
-    if batch_size:
-        _run_shard_batched(
-            context, target, spec, fingerprint, result, stratum_key,
-            batch_size,
-        )
-    else:
-        _run_shard_scalar(
-            context, target, spec, fingerprint, result, stratum_key
-        )
+    # Phase seconds accumulate in a shard-local registry (one timer block
+    # per phase instead of the hand-rolled perf_counter bookkeeping this
+    # replaces), are copied into the ShardResult's wire fields — the JSON
+    # form is unchanged — and folded into the process registry under
+    # ``inject.phase.*`` / ``inject.tier.*`` for traces and exports.
+    phases = MetricsRegistry()
+    with obs.span(
+        "shard", tier=spec.tier, stratum=stratum_key, lo=spec.lo, hi=spec.hi
+    ) as sp:
+        if batch_size:
+            _run_shard_batched(
+                context, target, spec, fingerprint, result, stratum_key,
+                batch_size, phases,
+            )
+        else:
+            _run_shard_scalar(
+                context, target, spec, fingerprint, result, stratum_key,
+                phases,
+            )
+        sp.set(scenarios=result.scenarios, draws=result.draws)
+    result.materialize_s = phases.value("materialize_s")
+    result.simulate_s = phases.value("simulate_s")
+    result.classify_s = phases.value("classify_s")
+    result.fold_s = phases.value("fold_s")
     result.elapsed_s = time.perf_counter() - started
+    registry = obs.get_registry()
+    registry.merge(phases, prefix="inject.phase.")
+    registry.inc(f"inject.tier.{spec.tier}.scenarios", result.scenarios)
+    registry.inc(f"inject.tier.{spec.tier}.elapsed_s", result.elapsed_s)
+    registry.inc("inject.shards")
     return result
 
 
@@ -205,53 +227,53 @@ def _run_shard_scalar(
     fingerprint: str,
     result: ShardResult,
     stratum_key: int,
+    phases: MetricsRegistry,
 ) -> None:
     # (scenario, draw multiplicity, offset of first draw) in shard order.
-    marked = time.perf_counter()
     trials: list[tuple[FaultScenario, int, int]]
-    if spec.tier == TIER_EXHAUSTIVE:
-        space = _space_of(context, target, fingerprint)
-        trials = [
-            (space.scenario(counts), 1, offset)
-            for offset, counts in enumerate(
-                space.iter_range(spec.stratum, spec.lo, spec.hi)
+    with phases.timer("materialize"):
+        if spec.tier == TIER_EXHAUSTIVE:
+            space = _space_of(context, target, fingerprint)
+            trials = [
+                (space.scenario(counts), 1, offset)
+                for offset, counts in enumerate(
+                    space.iter_range(spec.stratum, spec.lo, spec.hi)
+                )
+            ]
+        elif spec.tier == TIER_STRATIFIED:
+            space = _space_of(context, target, fingerprint)
+            distinct, multiplicity, first_offset = _stratified_trials(
+                space, spec
             )
-        ]
-    elif spec.tier == TIER_STRATIFIED:
-        space = _space_of(context, target, fingerprint)
-        distinct, multiplicity, first_offset = _stratified_trials(space, spec)
-        trials = [
-            (
-                space.scenario(space.unrank(spec.stratum, index)),
-                multiplicity[index],
-                first_offset[index],
-            )
-            for index in distinct
-        ]
-    elif spec.tier == TIER_IMPORTANCE:
-        trials = [
-            (scenario, 1, offset)
-            for offset, scenario in enumerate(
-                _importance_slice(context, target, fingerprint, spec)
-            )
-        ]
-    else:  # pragma: no cover - ShardSpec validates tiers
-        raise SimulationError(f"unknown shard tier {spec.tier!r}")
-    result.materialize_s += time.perf_counter() - marked
+            trials = [
+                (
+                    space.scenario(space.unrank(spec.stratum, index)),
+                    multiplicity[index],
+                    first_offset[index],
+                )
+                for index in distinct
+            ]
+        elif spec.tier == TIER_IMPORTANCE:
+            trials = [
+                (scenario, 1, offset)
+                for offset, scenario in enumerate(
+                    _importance_slice(context, target, fingerprint, spec)
+                )
+            ]
+        else:  # pragma: no cover - ShardSpec validates tiers
+            raise SimulationError(f"unknown shard tier {spec.tier!r}")
 
     for scenario, draws, offset in trials:
         result.scenarios += 1
         result.draws += draws
-        marked = time.perf_counter()
-        violations = check_scenario(context.simulator, scenario)
-        result.simulate_s += time.perf_counter() - marked
+        with phases.timer("simulate"):
+            violations = check_scenario(context.simulator, scenario)
         if not violations:
             continue
-        marked = time.perf_counter()
-        _fold_violations(
-            result, violations, scenario, draws, offset, spec, stratum_key
-        )
-        result.fold_s += time.perf_counter() - marked
+        with phases.timer("fold"):
+            _fold_violations(
+                result, violations, scenario, draws, offset, spec, stratum_key
+            )
 
 
 # -- batched hot path --------------------------------------------------------
@@ -265,6 +287,7 @@ def _run_shard_batched(
     result: ShardResult,
     stratum_key: int,
     batch_size: int,
+    phases: MetricsRegistry,
 ) -> None:
     """Stream the shard through the columnar kernel, block by block.
 
@@ -280,33 +303,28 @@ def _run_shard_batched(
 
     def replay_block(matrix, describe_column):
         """(matrix → masks → scalar re-check of violators) for one block."""
-        marked = time.perf_counter()
-        replay = batch.run_batch(matrix, ids=ids)
-        result.simulate_s += time.perf_counter() - marked
-        marked = time.perf_counter()
-        report = checker.check(replay)
-        columns = report.violating_columns()
-        result.classify_s += time.perf_counter() - marked
+        with phases.timer("simulate"):
+            replay = batch.run_batch(matrix, ids=ids)
+        with phases.timer("classify"):
+            report = checker.check(replay)
+            columns = report.violating_columns()
         for j in columns:
             scenario, draws, offset = describe_column(int(j))
-            marked = time.perf_counter()
-            violations = check_scenario(context.simulator, scenario)
-            result.classify_s += time.perf_counter() - marked
+            with phases.timer("classify"):
+                violations = check_scenario(context.simulator, scenario)
             if not violations:  # pragma: no cover - masks mirror the scalar
                 continue
-            marked = time.perf_counter()
-            _fold_violations(
-                result, violations, scenario, draws, offset, spec,
-                stratum_key,
-            )
-            result.fold_s += time.perf_counter() - marked
+            with phases.timer("fold"):
+                _fold_violations(
+                    result, violations, scenario, draws, offset, spec,
+                    stratum_key,
+                )
 
     if spec.tier == TIER_EXHAUSTIVE:
         for lo in range(spec.lo, spec.hi, batch_size):
             hi = min(lo + batch_size, spec.hi)
-            marked = time.perf_counter()
-            matrix = space.counts_range(spec.stratum, lo, hi)
-            result.materialize_s += time.perf_counter() - marked
+            with phases.timer("materialize"):
+                matrix = space.counts_range(spec.stratum, lo, hi)
             result.scenarios += hi - lo
             result.draws += hi - lo
             replay_block(
@@ -316,14 +334,14 @@ def _run_shard_batched(
                 ),
             )
     elif spec.tier == TIER_STRATIFIED:
-        marked = time.perf_counter()
-        distinct, multiplicity, first_offset = _stratified_trials(space, spec)
-        result.materialize_s += time.perf_counter() - marked
+        with phases.timer("materialize"):
+            distinct, multiplicity, first_offset = _stratified_trials(
+                space, spec
+            )
         for lo in range(0, len(distinct), batch_size):
             chunk = distinct[lo:lo + batch_size]
-            marked = time.perf_counter()
-            matrix = space.sample_counts(spec.stratum, chunk)
-            result.materialize_s += time.perf_counter() - marked
+            with phases.timer("materialize"):
+                matrix = space.sample_counts(spec.stratum, chunk)
             result.scenarios += len(chunk)
             result.draws += sum(multiplicity[index] for index in chunk)
             replay_block(
@@ -335,14 +353,12 @@ def _run_shard_batched(
                 ),
             )
     elif spec.tier == TIER_IMPORTANCE:
-        marked = time.perf_counter()
-        ranked = _importance_slice(context, target, fingerprint, spec)
-        result.materialize_s += time.perf_counter() - marked
+        with phases.timer("materialize"):
+            ranked = _importance_slice(context, target, fingerprint, spec)
         for lo in range(0, len(ranked), batch_size):
             chunk = ranked[lo:lo + batch_size]
-            marked = time.perf_counter()
-            matrix = space.counts_matrix(chunk)
-            result.materialize_s += time.perf_counter() - marked
+            with phases.timer("materialize"):
+                matrix = space.counts_matrix(chunk)
             result.scenarios += len(chunk)
             result.draws += len(chunk)
             replay_block(

@@ -1,0 +1,153 @@
+"""Unified telemetry: structured run traces + a process-local metrics registry.
+
+One substrate for "where did the time and the failures go", threaded
+through all four layers of the stack (scheduler/evaluator, search,
+queue, injection):
+
+* **Traces** (:mod:`repro.obs.trace`): nested spans with a ``run_id``,
+  emitted as append-only JSONL under the versioned schema of
+  :mod:`repro.io.trace_codec`.  A distributed sweep produces one shard
+  file per process; :mod:`repro.obs.analyze` stitches them back into a
+  single causal tree by ``run_id``.
+* **Metrics** (:mod:`repro.obs.metrics`): always-on process-local
+  counters/gauges/histograms, snapshotted into trace events and
+  exportable as a Prometheus-style text page.
+* **Progress** (:mod:`repro.obs.progress`): the one progress-line
+  reporter every driver shares.
+
+Tracing is **off by default**: the module-level :func:`span`/:func:`event`
+helpers dispatch to a :class:`~repro.obs.trace.NullTracer` whose
+operations are no-ops, so instrumented code needs no guards and the
+disabled path costs only an attribute lookup (the ``obs.overhead_pct``
+benchmark field keeps this honest).  Nothing in this package may alter
+optimization or simulation results — the traced-vs-untraced parity
+suite asserts byte-identical records and aggregates.
+
+Cross-process propagation: :func:`enable_tracing` (with
+``export_env=True``) exports the trace path and run id through the
+``FTDS_TRACE`` / ``FTDS_TRACE_RUN`` environment variables; spawned
+worker processes call :func:`adopt_env_tracing` and write sibling shard
+files ``<path>.<worker_id>`` under the same run id.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+    reset_metrics,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer, new_run_id
+
+#: Environment variables carrying the active trace to spawned workers.
+TRACE_PATH_ENV = "FTDS_TRACE"
+TRACE_RUN_ENV = "FTDS_TRACE_RUN"
+
+_TRACER: Tracer | NullTracer = NULL_TRACER
+
+__all__ = [
+    "MetricsRegistry",
+    "NullTracer",
+    "Tracer",
+    "adopt_env_tracing",
+    "disable_tracing",
+    "enable_tracing",
+    "enabled",
+    "event",
+    "get_registry",
+    "new_run_id",
+    "render_prometheus",
+    "reset_metrics",
+    "span",
+    "snapshot_metrics",
+    "tracer",
+    "worker_trace_path",
+]
+
+
+def tracer() -> Tracer | NullTracer:
+    """The process's active tracer (a no-op NullTracer by default)."""
+    return _TRACER
+
+
+def enabled() -> bool:
+    """True when a real tracer is installed."""
+    return _TRACER.enabled
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the active tracer (no-op when tracing is off)."""
+    return _TRACER.span(name, **attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record a point event on the active tracer (no-op when off)."""
+    _TRACER.event(name, **attrs)
+
+
+def snapshot_metrics(registry: MetricsRegistry | None = None) -> None:
+    """Snapshot the metrics registry into the active trace (no-op when off)."""
+    _TRACER.snapshot_metrics(registry)
+
+
+def worker_trace_path(base: str, worker_id: str) -> str:
+    """The shard file a worker writes next to the driver's trace file."""
+    safe = "".join(
+        ch if ch.isalnum() or ch in "-_." else "-" for ch in worker_id
+    )
+    return f"{base}.{safe}"
+
+
+def enable_tracing(
+    path: str,
+    run_id: str | None = None,
+    worker: str = "driver",
+    label: str | None = None,
+    export_env: bool = False,
+) -> Tracer:
+    """Install a real tracer writing to ``path`` and return it.
+
+    ``export_env=True`` additionally publishes the path and run id in the
+    process environment so worker processes spawned from here (the
+    ``multiprocessing`` spawn context copies ``os.environ``) join the
+    same run via :func:`adopt_env_tracing`.
+    """
+    global _TRACER
+    if _TRACER.enabled:
+        _TRACER.close()
+    _TRACER = Tracer(path, run_id=run_id, worker=worker, label=label)
+    if export_env:
+        os.environ[TRACE_PATH_ENV] = path
+        os.environ[TRACE_RUN_ENV] = _TRACER.run_id
+    return _TRACER
+
+
+def disable_tracing() -> None:
+    """Close any active tracer and restore the no-op default."""
+    global _TRACER
+    if _TRACER.enabled:
+        _TRACER.close()
+    _TRACER = NULL_TRACER
+    os.environ.pop(TRACE_PATH_ENV, None)
+    os.environ.pop(TRACE_RUN_ENV, None)
+
+
+def adopt_env_tracing(worker_id: str) -> Tracer | None:
+    """Join the run exported via the environment, as worker ``worker_id``.
+
+    Returns the installed tracer, or ``None`` when no trace is exported
+    (or one is already active in this process — local *threads* share
+    the driver's tracer instead of opening shard files).
+    """
+    base = os.environ.get(TRACE_PATH_ENV)
+    if not base or _TRACER.enabled:
+        return None
+    return enable_tracing(
+        worker_trace_path(base, worker_id),
+        run_id=os.environ.get(TRACE_RUN_ENV) or None,
+        worker=worker_id,
+    )

@@ -1,0 +1,291 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+Zero-dependency and always-on: incrementing a counter is one dict lookup
+plus a float add, cheap enough for every layer (scheduler passes, broker
+lease/ack/nack, injection phases) to report unconditionally, whether or
+not a trace is being written.  Tracing snapshots the registry into the
+trace stream (:meth:`repro.obs.trace.Tracer.snapshot_metrics`); the
+:func:`render_prometheus` exporter turns a snapshot into the standard
+text exposition format for scraping.
+
+Three instrument kinds, all keyed by dotted names:
+
+* :class:`Counter` — monotonically increasing total (events, seconds);
+* :class:`Gauge` — last-write-wins level (queue depth, cache size);
+* :class:`Histogram` — bucketed distribution with count/sum/min/max
+  (job durations, span latencies).
+
+Registries compose: :meth:`MetricsRegistry.merge` folds one registry
+into another (the injection runner times each shard against a private
+registry, then folds it into the process-wide one), and
+:func:`merge_snapshots` does the same over the JSON form when stitching
+multi-worker traces.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Iterable
+
+#: Default histogram bucket upper bounds, in seconds (latency-shaped).
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,
+)
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins level."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Cumulative-bucket distribution (Prometheus semantics)."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(sorted(bounds))
+        self.bucket_counts = [0] * len(self.bounds)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+
+
+class _Timer:
+    """Context manager adding elapsed seconds to ``<name>_s`` (+ calls)."""
+
+    __slots__ = ("registry", "name", "started")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self.registry = registry
+        self.name = name
+
+    def __enter__(self) -> "_Timer":
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self.started
+        self.registry.counter(self.name + "_s").inc(elapsed)
+        self.registry.counter(self.name + "_calls").inc()
+
+
+class MetricsRegistry:
+    """One process-local (or scope-local) family of named instruments."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        # Guards instrument *creation* only (worker threads of the
+        # in-memory broker race on first use); mutating an existing
+        # instrument is plain attribute arithmetic under the GIL.
+        self._lock = threading.Lock()
+
+    # -- instrument access ---------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter())
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge())
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    name, Histogram(bounds)
+                )
+        return instrument
+
+    # -- shorthands ----------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def set(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def timer(self, name: str) -> _Timer:
+        """Time a block into the ``<name>_s`` / ``<name>_calls`` counters."""
+        return _Timer(self, name)
+
+    def value(self, name: str) -> float:
+        """Current value of a counter or gauge named ``name`` (0 if unset)."""
+        counter = self._counters.get(name)
+        if counter is not None:
+            return counter.value
+        gauge = self._gauges.get(name)
+        return gauge.value if gauge is not None else 0.0
+
+    # -- composition ---------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry", prefix: str = "") -> None:
+        """Fold ``other`` into this registry (counters add, gauges overwrite)."""
+        for name, counter in other._counters.items():
+            self.counter(prefix + name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            self.gauge(prefix + name).set(gauge.value)
+        for name, histogram in other._histograms.items():
+            mine = self.histogram(prefix + name, histogram.bounds)
+            _merge_histogram(mine, _histogram_dict(histogram))
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe dump of every instrument (the trace/metrics payload)."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value
+                for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: _histogram_dict(histogram)
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+
+def _histogram_dict(histogram: Histogram) -> dict[str, Any]:
+    data: dict[str, Any] = {
+        "count": histogram.count,
+        "sum": histogram.total,
+        "buckets": [
+            [bound, count]
+            for bound, count in zip(histogram.bounds, histogram.bucket_counts)
+        ],
+    }
+    if histogram.count:
+        data["min"] = histogram.min
+        data["max"] = histogram.max
+    return data
+
+
+def _merge_histogram(mine: Histogram, data: dict[str, Any]) -> None:
+    """Fold one snapshot-form histogram into a live one (matching bounds)."""
+    counts = {bound: count for bound, count in data.get("buckets", [])}
+    for index, bound in enumerate(mine.bounds):
+        mine.bucket_counts[index] += int(counts.get(bound, 0))
+    mine.count += int(data.get("count", 0))
+    mine.total += float(data.get("sum", 0.0))
+    if data.get("count"):
+        mine.min = min(mine.min, float(data.get("min", mine.min)))
+        mine.max = max(mine.max, float(data.get("max", mine.max)))
+
+
+def merge_snapshots(snapshots: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Combine per-worker registry snapshots into one (counters add).
+
+    Counters and histogram buckets sum across workers; for gauges the
+    maximum is kept — a queue-depth or cache-size gauge merged across
+    workers is best read as "the largest level any process saw".
+    """
+    merged = MetricsRegistry()
+    seen_gauges: dict[str, float] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            merged.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            seen_gauges[name] = max(seen_gauges.get(name, float("-inf")), value)
+        for name, data in snapshot.get("histograms", {}).items():
+            bounds = tuple(bound for bound, _ in data.get("buckets", []))
+            mine = merged.histogram(name, bounds or DEFAULT_BUCKETS)
+            _merge_histogram(mine, data)
+    for name, value in seen_gauges.items():
+        merged.gauge(name).set(value)
+    return merged.snapshot()
+
+
+def _prom_name(name: str) -> str:
+    """Dotted registry name -> Prometheus-legal metric name."""
+    return "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+
+
+def render_prometheus(snapshot: dict[str, Any]) -> str:
+    """Render a registry snapshot as a Prometheus text exposition page."""
+    lines: list[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value:g}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value:g}")
+    for name, data in snapshot.get("histograms", {}).items():
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        for bound, count in data.get("buckets", []):
+            lines.append(f'{metric}_bucket{{le="{bound:g}"}} {count}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {data.get("count", 0)}')
+        lines.append(f"{metric}_sum {data.get('sum', 0.0):g}")
+        lines.append(f"{metric}_count {data.get('count', 0)}")
+    return "\n".join(lines) + "\n"
+
+
+#: The process-wide default registry every layer reports into.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry (one per worker process)."""
+    return _REGISTRY
+
+
+def reset_metrics() -> MetricsRegistry:
+    """Swap in a fresh process-wide registry (tests; returns the new one)."""
+    global _REGISTRY
+    _REGISTRY = MetricsRegistry()
+    return _REGISTRY

@@ -1,0 +1,82 @@
+"""The one progress-line reporter every sweep driver shares.
+
+Before this module, three drivers (serial/pool experiment fan-out, the
+distributed sweep driver and the injection sweep driver) each carried
+their own copy of the ``[i/total] description (elapsed)`` emitter, with
+subtly different elapsed formatting between the serial and queue paths.
+:class:`ProgressReporter` owns the format, counts steps itself, and —
+being obs-backed — mirrors every step into the metrics registry and the
+active trace as a point event, so a ``--trace`` run records the same
+milestones a human watched scroll by.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro import obs
+
+
+def format_elapsed(seconds: float) -> str:
+    """Human elapsed time: ``3.2s`` below a minute, ``2m03.4s`` above."""
+    if seconds < 60.0:
+        return f"{seconds:.1f}s"
+    minutes = int(seconds // 60.0)
+    return f"{minutes}m{seconds - 60.0 * minutes:04.1f}s"
+
+
+class ProgressReporter:
+    """Numbered progress lines over an optional sink, mirrored into obs.
+
+    ``emit`` is the line sink (``None`` silences output but the metrics
+    and trace events still flow); ``total`` the expected step count;
+    ``metric`` the registry counter incremented per step.
+    """
+
+    def __init__(
+        self,
+        emit: Callable[[str], None] | None,
+        total: int,
+        metric: str = "progress.steps",
+    ) -> None:
+        self.emit = emit
+        self.total = total
+        self.metric = metric
+        self.done = 0
+
+    def step(
+        self,
+        description: str,
+        elapsed_s: float | None = None,
+        note: str = "",
+    ) -> None:
+        """Report one completed unit of work.
+
+        ``elapsed_s`` is the unit's own wall-clock (worker-side for queue
+        paths); ``note`` carries driver-specific detail (scenario counts,
+        phase timings) appended inside the parentheses.
+        """
+        self.done += 1
+        obs.get_registry().inc(self.metric)
+        parts = []
+        if note:
+            parts.append(note)
+        if elapsed_s is not None:
+            parts.append(format_elapsed(elapsed_s))
+        suffix = f" ({', '.join(parts)})" if parts else ""
+        line = f"[{self.done}/{self.total}] {description}{suffix}"
+        obs.event(
+            "progress",
+            step=self.done,
+            total=self.total,
+            description=description,
+            **({"elapsed_s": elapsed_s} if elapsed_s is not None else {}),
+        )
+        if self.emit is not None:
+            self.emit(line)
+
+    def announce(self, line: str) -> None:
+        """Emit an unnumbered one-off line (resume notices and the like)."""
+        obs.event("progress.note", description=line)
+        if self.emit is not None:
+            self.emit(line)

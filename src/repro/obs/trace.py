@@ -1,0 +1,219 @@
+"""Structured run traces: nested spans over append-only JSONL.
+
+A :class:`Tracer` writes the versioned event stream defined by
+:mod:`repro.io.trace_codec` to one file.  Spans nest through a
+per-thread stack — ``with tracer.span("schedule"):`` inside
+``with tracer.span("optimize"):`` records the parent link — and are
+written **on exit**, so a child's line always precedes its parent's and
+a crash loses at most the spans still open.  Exceptions mark the span
+``status="error"`` (with the exception type) and propagate untouched.
+
+The disabled path is a :class:`NullTracer` whose ``span`` returns one
+shared no-op context manager: call sites guard nothing, instrument
+unconditionally, and pay only an attribute lookup and an empty
+``__enter__``/``__exit__`` when tracing is off.  Nothing in here may
+influence scheduling, search or simulation results — the tracer only
+ever *observes* (the traced-equals-untraced parity suite pins this
+down).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import uuid
+from typing import Any
+
+from repro.io.trace_codec import (
+    KIND_EVENT,
+    KIND_META,
+    KIND_METRICS,
+    KIND_SPAN,
+    SPAN_ERROR,
+    SPAN_OK,
+    TRACE_SCHEMA_VERSION,
+    encode_trace_event,
+)
+
+
+def new_run_id() -> str:
+    """A fresh globally unique run identifier."""
+    return uuid.uuid4().hex[:16]
+
+
+class _NullSpan:
+    """Reusable no-op span handle (the disabled fast path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer stand-in when tracing is off: every operation is a no-op."""
+
+    enabled = False
+    run_id = ""
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    def snapshot_metrics(self, registry=None) -> None:
+        return None
+
+    def flush(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """Context manager recording one completed span on exit."""
+
+    __slots__ = ("tracer", "name", "attrs", "id", "parent", "ts", "_started")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered while the span runs (e.g. counts)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        tracer = self.tracer
+        stack = tracer._stack()
+        self.parent = stack[-1] if stack else None
+        self.id = tracer._next_id()
+        stack.append(self.id)
+        self.ts = tracer._clock()
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        dur = time.perf_counter() - self._started
+        stack = self.tracer._stack()
+        if stack and stack[-1] == self.id:
+            stack.pop()
+        event = {
+            "name": self.name,
+            "id": self.id,
+            "parent": self.parent,
+            "dur": dur,
+            "status": SPAN_OK if exc_type is None else SPAN_ERROR,
+        }
+        if exc_type is not None:
+            event["error"] = exc_type.__name__
+        if self.attrs:
+            event["attrs"] = self.attrs
+        self.tracer._write(KIND_SPAN, self.ts, event)
+        return None  # never swallow the exception
+
+
+class Tracer:
+    """Writes one process's JSONL trace shard (see module docstring)."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: str,
+        run_id: str | None = None,
+        worker: str = "driver",
+        label: str | None = None,
+    ) -> None:
+        self.path = path
+        self.run_id = run_id or new_run_id()
+        self.worker = worker
+        self._file = open(path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._ids = iter(range(1, 1 << 62)).__next__
+        self._local = threading.local()
+        self._clock = time.time
+        meta: dict[str, Any] = {
+            "worker": worker,
+            "pid": os.getpid(),
+            "host": socket.gethostname() or "unknown",
+        }
+        if label:
+            meta["label"] = label
+        self._write(KIND_META, self._clock(), meta)
+
+    # -- internals -----------------------------------------------------------
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _next_id(self) -> int:
+        with self._lock:
+            return self._ids()
+
+    def _write(self, kind: str, ts: float, body: dict[str, Any]) -> None:
+        event = {
+            "v": TRACE_SCHEMA_VERSION,
+            "run": self.run_id,
+            "kind": kind,
+            "ts": ts,
+        }
+        event.update(body)
+        line = encode_trace_event(event) + "\n"
+        with self._lock:
+            if not self._file.closed:
+                self._file.write(line)
+                self._file.flush()
+
+    # -- public API ----------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _Span:
+        """Open a nested span; written (with duration) when the block exits."""
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record one instantaneous point event."""
+        body: dict[str, Any] = {"name": name}
+        if attrs:
+            body["attrs"] = attrs
+        self._write(KIND_EVENT, self._clock(), body)
+
+    def snapshot_metrics(self, registry=None) -> None:
+        """Embed the registry's current snapshot into the trace stream."""
+        if registry is None:
+            from repro.obs.metrics import get_registry
+
+            registry = get_registry()
+        self._write(
+            KIND_METRICS, self._clock(), {"snapshot": registry.snapshot()}
+        )
+
+    def flush(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()

@@ -603,3 +603,35 @@ class Evaluator:
         if total == 0:
             return 0.0
         return self.cache_hits / total
+
+    def publish_metrics(self, registry=None) -> None:
+        """Publish counter deltas since the last publish into the registry.
+
+        Deltas (not absolutes) so several evaluators in one process — one
+        per root-schedule alternative under ``optimize`` — accumulate
+        rather than overwrite.  Gauges describe *this* evaluator's cache.
+        """
+        if registry is None:
+            from repro.obs.metrics import get_registry
+
+            registry = get_registry()
+        published = getattr(self, "_published", None)
+        current = {
+            "evaluator.cache_hits": self.cache_hits,
+            "evaluator.exact_evaluations": (
+                self.full_evaluations + self.delta_evaluations
+            ),
+            "evaluator.full_evaluations": self.full_evaluations,
+            "evaluator.delta_evaluations": self.delta_evaluations,
+            "evaluator.ranked_evaluations": self.ranked_evaluations,
+            "evaluator.record_rebuilds": self.record_rebuilds,
+        }
+        for name, value in current.items():
+            previous = published.get(name, 0) if published else 0
+            if value > previous:
+                registry.inc(name, value - previous)
+        self._published = current
+        info = self.cache_info()
+        registry.set("evaluator.cache.size", info.size)
+        registry.set("evaluator.cache.bound", info.bound)
+        registry.set("evaluator.cache.hit_rate", self.cache_hit_rate)

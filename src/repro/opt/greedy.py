@@ -12,6 +12,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro import obs
 from repro.model.application import ProcessGraph
 from repro.model.fault import FaultModel
 from repro.opt.cost import Cost
@@ -51,6 +52,7 @@ def greedy_mpa(
     cold pass because selection never trusts an estimate.  ``None`` (the
     default) prices every candidate exactly via ``evaluate_many``.
     """
+    registry = obs.get_registry()
     current = start
     current_cost, current_record = evaluator.evaluate_record(current)
     outcome = SearchOutcome(
@@ -58,48 +60,56 @@ def greedy_mpa(
     )
     deadline = None if time_limit_s is None else time.monotonic() + time_limit_s
 
-    for _ in range(max_iterations):
-        if stop_when_schedulable and current_cost.schedulable:
-            break
-        if deadline is not None and time.monotonic() > deadline:
-            break
-        moves = generate_moves(
-            merged,
-            faults,
-            current,
-            current_record.critical_path(),
-            replica_counts,
-            checkpoint_segments,
-        )
-        # Batched delta evaluation: the whole neighbourhood is priced
-        # against one captured base context (cone-suffix replays, no
-        # records sealed); only the winner's schedule is realized, and the
-        # critical path is walked on the record's binding index triples —
-        # no view is ever materialized.  The ranking tier narrows the
-        # exact pricing further to the shortlist; steepest descent only
-        # ever follows an exactly priced candidate.
-        best = None
-        best_cost = current_cost
-        if shortlist is None:
-            for candidate in evaluator.evaluate_many(current, moves):
-                if candidate.cost.is_better_than(best_cost):
-                    best = candidate
-                    best_cost = candidate.cost
-        else:
-            for ranked in evaluator.rank_neighbourhood(
-                current, moves, shortlist=shortlist
-            ):
-                exact = ranked.exact
-                if exact is not None and exact.cost.is_better_than(best_cost):
-                    best = exact
-                    best_cost = exact.cost
-        if best is None:
-            break
-        current = best.implementation
-        current_cost = best_cost
-        current_record = evaluator.realize(best)
-        outcome.iterations += 1
-        outcome.history.append(current_cost)
+    with obs.span("greedy") as sp:
+        for _ in range(max_iterations):
+            if stop_when_schedulable and current_cost.schedulable:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            moves = generate_moves(
+                merged,
+                faults,
+                current,
+                current_record.critical_path(),
+                replica_counts,
+                checkpoint_segments,
+            )
+            registry.inc("search.greedy.moves_priced", len(moves))
+            # Batched delta evaluation: the whole neighbourhood is priced
+            # against one captured base context (cone-suffix replays, no
+            # records sealed); only the winner's schedule is realized, and
+            # the critical path is walked on the record's binding index
+            # triples — no view is ever materialized.  The ranking tier
+            # narrows the exact pricing further to the shortlist; steepest
+            # descent only ever follows an exactly priced candidate.
+            best = None
+            best_cost = current_cost
+            if shortlist is None:
+                for candidate in evaluator.evaluate_many(current, moves):
+                    if candidate.cost.is_better_than(best_cost):
+                        best = candidate
+                        best_cost = candidate.cost
+            else:
+                for ranked in evaluator.rank_neighbourhood(
+                    current, moves, shortlist=shortlist
+                ):
+                    exact = ranked.exact
+                    if exact is not None and exact.cost.is_better_than(
+                        best_cost
+                    ):
+                        best = exact
+                        best_cost = exact.cost
+            registry.inc("search.greedy.iterations")
+            if best is None:
+                registry.inc("search.greedy.plateaus")
+                break
+            registry.inc("search.greedy.accepted")
+            current = best.implementation
+            current_cost = best_cost
+            current_record = evaluator.realize(best)
+            outcome.iterations += 1
+            outcome.history.append(current_cost)
+        sp.set(iterations=outcome.iterations)
 
     outcome.implementation = current
     outcome.cost = current_cost

@@ -29,6 +29,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.model.application import Application, ProcessGraph
 from repro.model.architecture import Architecture
@@ -198,6 +199,29 @@ def optimize(
         application, architecture, config.ms_per_byte
     )
     evaluator = _make_evaluator(merged, effective_faults, config)
+    span = obs.span("optimize", variant=spec.name)
+    with span:
+        result = _optimize_moves(
+            spec, config, merged, architecture, effective_faults, bus,
+            evaluator,
+        )
+        span.set(
+            evaluations=result.evaluations, cache_hits=result.cache_hits
+        )
+        evaluator.publish_metrics()
+    return result
+
+
+def _optimize_moves(
+    spec: Variant,
+    config: OptimizationConfig,
+    merged: ProcessGraph,
+    architecture: Architecture,
+    effective_faults: FaultModel,
+    bus: BusConfig,
+    evaluator: Evaluator,
+) -> OptimizationResult:
+    """The move-optimization core of :func:`optimize` (span-wrapped there)."""
 
     minimize = config.minimize
     if minimize is None:
@@ -349,4 +373,5 @@ def _run_sfx(
     )
     result.stage_costs["nft"] = nft.cost
     result.stage_costs["sfx"] = cost
+    evaluator.publish_metrics()
     return result

@@ -19,6 +19,7 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
+from repro import obs
 from repro.model.application import ProcessGraph
 from repro.model.fault import FaultModel
 from repro.opt.cost import Cost
@@ -57,72 +58,81 @@ def tabu_search_mpa(
     tabu: dict[str, int] = {name: 0 for name in merged}
     wait: dict[str, int] = {name: 0 for name in merged}
 
+    registry = obs.get_registry()
     x_now = start
     best = start
     best_cost, now_record = evaluator.evaluate_record(start)
     outcome = SearchOutcome(implementation=best, cost=best_cost, history=[best_cost])
     deadline = None if time_limit_s is None else time.monotonic() + time_limit_s
 
-    for _ in range(max_iterations):
-        if stop_when_schedulable and best_cost.schedulable:
-            break
-        if deadline is not None and time.monotonic() > deadline:
-            break
-
-        critical_path = now_record.critical_path()
-        moves = generate_moves(
-            merged, faults, x_now, critical_path, replica_counts,
-            checkpoint_segments,
-        )
-        if not moves:
-            break
-
-        # Batched delta evaluation: the neighbourhood is priced against one
-        # captured base context (cone-suffix replays, nothing sealed); only
-        # the *chosen* move's schedule record is realized — the selection
-        # itself needs costs alone.
-        if shortlist is None:
-            candidates = evaluator.evaluate_many(x_now, moves)
-            chosen = _select_move(
-                [(c.move, c.cost) for c in candidates],
-                tabu, wait, best_cost, graph_size,
-            )
-            if chosen is None:
+    sp = obs.span("tabu")
+    with sp:
+        for _ in range(max_iterations):
+            if stop_when_schedulable and best_cost.schedulable:
                 break
-            move, now_cost = chosen
-            chosen_eval = next(
-                candidate
-                for candidate in candidates
-                if candidate.move is move
-            )
-        else:
-            ranked = evaluator.rank_neighbourhood(
-                x_now, moves, shortlist=shortlist
-            )
-            chosen = _select_move(
-                [(r.move, r.cost) for r in ranked],
-                tabu, wait, best_cost, graph_size,
-            )
-            if chosen is None:
+            if deadline is not None and time.monotonic() > deadline:
                 break
-            move, now_cost = chosen
-            chosen_ranked = next(r for r in ranked if r.move is move)
-            chosen_eval = chosen_ranked.exact
-            if chosen_eval is None:
-                # The selection picked an estimate-only candidate (e.g. a
-                # diversification move outside the shortlist): re-price it
-                # exactly before trusting or applying it.
-                chosen_eval = evaluator.evaluate_delta(x_now, move)
-            now_cost = chosen_eval.cost
-        x_now = chosen_eval.implementation
-        now_record = evaluator.realize(chosen_eval)
-        outcome.iterations += 1
-        outcome.history.append(now_cost)
-        if now_cost.is_better_than(best_cost):
-            best = x_now
-            best_cost = now_cost
 
-        _update_history(tabu, wait, move.process, tabu_tenure)
+            critical_path = now_record.critical_path()
+            moves = generate_moves(
+                merged, faults, x_now, critical_path, replica_counts,
+                checkpoint_segments,
+            )
+            if not moves:
+                break
+            registry.inc("search.tabu.moves_priced", len(moves))
+
+            # Batched delta evaluation: the neighbourhood is priced against
+            # one captured base context (cone-suffix replays, nothing
+            # sealed); only the *chosen* move's schedule record is realized
+            # — the selection itself needs costs alone.
+            if shortlist is None:
+                candidates = evaluator.evaluate_many(x_now, moves)
+                chosen = _select_move(
+                    [(c.move, c.cost) for c in candidates],
+                    tabu, wait, best_cost, graph_size,
+                )
+                if chosen is None:
+                    break
+                move, now_cost = chosen
+                chosen_eval = next(
+                    candidate
+                    for candidate in candidates
+                    if candidate.move is move
+                )
+            else:
+                ranked = evaluator.rank_neighbourhood(
+                    x_now, moves, shortlist=shortlist
+                )
+                chosen = _select_move(
+                    [(r.move, r.cost) for r in ranked],
+                    tabu, wait, best_cost, graph_size,
+                )
+                if chosen is None:
+                    break
+                move, now_cost = chosen
+                chosen_ranked = next(r for r in ranked if r.move is move)
+                chosen_eval = chosen_ranked.exact
+                if chosen_eval is None:
+                    # The selection picked an estimate-only candidate (e.g.
+                    # a diversification move outside the shortlist):
+                    # re-price it exactly before trusting or applying it.
+                    chosen_eval = evaluator.evaluate_delta(x_now, move)
+                now_cost = chosen_eval.cost
+            x_now = chosen_eval.implementation
+            now_record = evaluator.realize(chosen_eval)
+            outcome.iterations += 1
+            registry.inc("search.tabu.iterations")
+            outcome.history.append(now_cost)
+            if now_cost.is_better_than(best_cost):
+                best = x_now
+                best_cost = now_cost
+                registry.inc("search.tabu.improvements")
+            else:
+                registry.inc("search.tabu.plateau_iterations")
+
+            _update_history(tabu, wait, move.process, tabu_tenure)
+        sp.set(iterations=outcome.iterations)
 
     outcome.implementation = best
     outcome.cost = best_cost

@@ -69,6 +69,23 @@ class QueueCounts:
         return self.queued + self.leased + self.done + self.dead
 
 
+def publish_queue_counts(counts: QueueCounts, registry=None) -> QueueCounts:
+    """Mirror a pending() poll into ``queue.depth.*`` gauges; returns it.
+
+    Drivers call this on every collection poll so a registry snapshot (or
+    Prometheus export) always carries the last observed queue depth.
+    """
+    if registry is None:
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+    registry.set("queue.depth.queued", counts.queued)
+    registry.set("queue.depth.leased", counts.leased)
+    registry.set("queue.depth.done", counts.done)
+    registry.set("queue.depth.dead", counts.dead)
+    return counts
+
+
 @dataclass(frozen=True)
 class DeadLetter:
     """A job that exhausted its delivery attempts, with its last error."""

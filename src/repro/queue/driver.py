@@ -35,10 +35,17 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.errors import ConfigurationError, QueueError
 from repro.experiments.parallel import CaseJob
 from repro.experiments.runner import VariantRun
-from repro.queue.broker import Broker, DEFAULT_MAX_ATTEMPTS, DONE
+from repro.obs.progress import ProgressReporter
+from repro.queue.broker import (
+    Broker,
+    DEFAULT_MAX_ATTEMPTS,
+    DONE,
+    publish_queue_counts,
+)
 from repro.queue.memory import MemoryBroker
 from repro.queue.sqlite import SqliteBroker
 from repro.queue.worker import (
@@ -145,6 +152,7 @@ def collect_results(
     total = len(plan.fingerprints)
     results: list[dict[str, VariantRun]] = []
     deadline = None if timeout_s is None else time.monotonic() + timeout_s
+    reporter = ProgressReporter(progress, total, metric="queue.results")
     cursor = 0
     while cursor < total:
         states = broker.states()
@@ -154,14 +162,12 @@ def collect_results(
             results.append(runs)
             cursor += 1
             stats.completed += 1
-            if progress is not None:
-                progress(
-                    f"[{cursor}/{total}] {plan.jobs[cursor - 1].describe()} "
-                    f"({elapsed:.1f}s)"
-                )
+            reporter.step(
+                plan.jobs[cursor - 1].describe(), elapsed_s=elapsed
+            )
         if cursor >= total:
             break
-        counts = broker.pending()
+        counts = publish_queue_counts(broker.pending())
         if counts.unfinished == 0:
             # The final ack may have landed between the states() snapshot
             # and this pending() read; only an actual dead letter is
@@ -203,9 +209,17 @@ def run_sweep(
     :class:`MemoryBroker`.  With ``local_workers=0`` the call only
     enqueues and waits, relying entirely on externally attached workers.
     """
-    plan = enqueue_sweep(jobs, broker, resume=resume, max_attempts=max_attempts)
-    if progress is not None and plan.stats.checkpoint_hits:
-        progress(
+    with obs.span("enqueue") as sp:
+        plan = enqueue_sweep(
+            jobs, broker, resume=resume, max_attempts=max_attempts
+        )
+        sp.set(
+            total=plan.stats.total,
+            enqueued=plan.stats.enqueued,
+            checkpoint_hits=plan.stats.checkpoint_hits,
+        )
+    if plan.stats.checkpoint_hits:
+        ProgressReporter(progress, plan.stats.total).announce(
             f"resume: {plan.stats.checkpoint_hits}/{plan.stats.total} jobs "
             "already complete (checkpoint hits)"
         )
@@ -216,14 +230,16 @@ def run_sweep(
         liveness = None
         if workers:
             liveness = lambda: any(w.is_alive() for w in workers)
-        results, stats = collect_results(
-            plan,
-            broker,
-            progress=progress,
-            poll_interval_s=poll_interval_s,
-            timeout_s=timeout_s,
-            liveness=liveness,
-        )
+        with obs.span("collect", jobs=plan.stats.total) as sp:
+            results, stats = collect_results(
+                plan,
+                broker,
+                progress=progress,
+                poll_interval_s=poll_interval_s,
+                timeout_s=timeout_s,
+                liveness=liveness,
+            )
+            sp.set(completed=stats.completed, checkpoint_hits=stats.checkpoint_hits)
     except BaseException:
         # The caller asked to stop (timeout, dead letters, interrupt):
         # don't block on drain workers finishing the rest of the queue —
@@ -245,17 +261,25 @@ def _sqlite_worker_main(
     """Entry point of one spawned local worker process."""
     from repro.queue.worker import default_worker_id
 
+    worker_id = default_worker_id(suffix)
+    # The spawn context copies os.environ, so a driver tracing with
+    # export_env=True hands its run id to every local worker; each worker
+    # writes its own shard file stitched back by `ftds trace summarize`.
+    tracer = obs.adopt_env_tracing(worker_id)
     broker = SqliteBroker(path)
     try:
         Worker(
             broker,
-            worker_id=default_worker_id(suffix),
+            worker_id=worker_id,
             lease_s=lease_s,
             validate_samples=validate_samples,
             poll_interval_s=0.05,
         ).run(drain=True)
     finally:
         broker.close()
+        if tracer is not None:
+            tracer.snapshot_metrics()
+            obs.disable_tracing()
 
 
 def _spawn_local_workers(
@@ -314,6 +338,7 @@ def _raise_dead_letters(
 
     letters = broker.dead_letters()
     stats.dead = len(letters)
+    obs.get_registry().set("queue.depth.dead", len(letters))
     details = []
     for letter in letters[:10]:
         try:

@@ -23,6 +23,7 @@ import socket
 import time
 from typing import Callable
 
+from repro import obs
 from repro.queue.broker import Broker
 
 #: Fault-injection sample budget per validated schedule (small systems are
@@ -70,15 +71,31 @@ class Worker:
         by tests to simulate a worker that stops mid-sweep).
         """
         acked = 0
+        registry = obs.get_registry()
+        last_beat = time.monotonic()
         while max_jobs is None or acked < max_jobs:
             leased = self.broker.lease(self.worker_id, self.lease_s)
             if leased is None:
                 if drain and self.broker.pending().unfinished == 0:
                     break
                 time.sleep(self.poll_interval_s)
-                continue
-            if self.step(leased.fingerprint, leased.payload, leased.attempt):
-                acked += 1
+            else:
+                registry.inc("queue.leases")
+                if self.step(
+                    leased.fingerprint, leased.payload, leased.attempt
+                ):
+                    acked += 1
+            # Heartbeats (traced runs only): liveness + progress, at most
+            # one every ~10s so an idle poll loop stays quiet.
+            now = time.monotonic()
+            if obs.enabled() and now - last_beat >= 10.0:
+                last_beat = now
+                obs.event(
+                    "worker.heartbeat",
+                    worker=self.worker_id,
+                    processed=self.processed,
+                    failed=self.failed,
+                )
         return acked
 
     def step(self, fingerprint: str, payload: str, attempt: int) -> bool:
@@ -94,41 +111,50 @@ class Worker:
 
         started = time.monotonic()
         label = fingerprint[:12]
-        try:
-            if payload_kind(payload) == "inject_shard":
-                from repro.inject.runner import run_shard
-                from repro.io.inject_codec import (
-                    decode_shard_job,
-                    encode_shard_result,
-                )
+        registry = obs.get_registry()
+        with obs.span("job", fingerprint=fingerprint[:12]) as sp:
+            try:
+                kind = payload_kind(payload)
+                sp.set(kind=kind or "case")
+                if kind == "inject_shard":
+                    from repro.inject.runner import run_shard
+                    from repro.io.inject_codec import (
+                        decode_shard_job,
+                        encode_shard_result,
+                    )
 
-                target, spec, target_fp = decode_shard_job(payload)
-                label = f"{target.label}:{spec.describe()}"
-                result = run_shard(target, spec, target_fp)
-                elapsed = time.monotonic() - started
-                self.broker.ack(fingerprint, encode_shard_result(result))
-            else:
-                from repro.experiments.parallel import run_case_job
-                from repro.io.queue_codec import decode_job, encode_result
+                    target, spec, target_fp = decode_shard_job(payload)
+                    label = f"{target.label}:{spec.describe()}"
+                    result = run_shard(target, spec, target_fp)
+                    elapsed = time.monotonic() - started
+                    self.broker.ack(fingerprint, encode_shard_result(result))
+                else:
+                    from repro.experiments.parallel import run_case_job
+                    from repro.io.queue_codec import decode_job, encode_result
 
-                job = decode_job(payload)
-                label = job.describe()
-                runs = run_case_job(
-                    job, validate_samples=self.validate_samples
+                    job = decode_job(payload)
+                    label = job.describe()
+                    runs = run_case_job(
+                        job, validate_samples=self.validate_samples
+                    )
+                    elapsed = time.monotonic() - started
+                    self.broker.ack(fingerprint, encode_result(runs, elapsed))
+            except Exception as error:  # nack failures; broker bounds retries
+                self.failed += 1
+                registry.inc("queue.nacks")
+                sp.set(outcome="nack", error=type(error).__name__)
+                self.broker.nack(
+                    fingerprint, f"{label}: {type(error).__name__}: {error}"
                 )
-                elapsed = time.monotonic() - started
-                self.broker.ack(fingerprint, encode_result(runs, elapsed))
-        except Exception as error:  # nack *any* failure; broker bounds retries
-            self.failed += 1
-            self.broker.nack(
-                fingerprint, f"{label}: {type(error).__name__}: {error}"
-            )
-            if self.progress is not None:
-                self.progress(
-                    f"nack {label} (attempt {attempt}): "
-                    f"{type(error).__name__}: {error}"
-                )
-            return False
+                if self.progress is not None:
+                    self.progress(
+                        f"nack {label} (attempt {attempt}): "
+                        f"{type(error).__name__}: {error}"
+                    )
+                return False
+            registry.inc("queue.acks")
+            registry.observe("queue.job_s", elapsed)
+            sp.set(outcome="ack")
         self.processed += 1
         if self.progress is not None:
             self.progress(f"ack {label} ({elapsed:.1f}s, attempt {attempt})")

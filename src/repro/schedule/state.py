@@ -31,12 +31,14 @@ row, and each node's bus pack sequence.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import SchedulingError
 from repro.model.application import ProcessGraph
 from repro.model.fault import FaultModel
 from repro.model.ftgraph import FTGraph
+from repro.obs.metrics import get_registry
 from repro.schedule.analysis import (
     WorstCaseAnalyzer,
     group_survivor_indices,
@@ -483,9 +485,13 @@ class SchedulerState:
 
     def run(self) -> None:
         """Drive the schedule to completion."""
+        started = time.perf_counter()
         step = self.step
         while self.ready:
             step()
+        registry = get_registry()
+        registry.inc("scheduler.passes")
+        registry.inc("scheduler.pass_s", time.perf_counter() - started)
 
     # -- snapshot / restore (incremental kernel) ---------------------------
 
@@ -566,6 +572,7 @@ class SchedulerState:
 
     def seal(self) -> ScheduleRecord:
         """Derive completions/groups and freeze the builder into the record."""
+        get_registry().inc("scheduler.seals")
         ft = self.ft
         if self.rank != len(ft):
             unplaced = [

@@ -1,0 +1,133 @@
+"""Metrics registry: instruments, merge semantics, Prometheus rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+    merge_snapshots,
+    render_prometheus,
+    reset_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("a.b")
+        registry.inc("a.b", 2.5)
+        assert registry.value("a.b") == 3.5
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set("depth", 7)
+        registry.set("depth", 3)
+        assert registry.value("depth") == 3.0
+
+    def test_unset_name_reads_zero(self):
+        assert MetricsRegistry().value("never.touched") == 0.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        for value in (0.0005, 0.003, 0.003, 2.0):
+            registry.observe("lat", value)
+        hist = registry.histogram("lat")
+        assert hist.count == 4
+        assert hist.total == pytest.approx(2.0065)
+        counts = dict(zip(hist.bounds, hist.bucket_counts))
+        assert counts[0.001] == 1
+        assert counts[0.005] == 3  # cumulative: includes the <=0.001 one
+        assert counts[5.0] == 4
+        assert hist.min == 0.0005 and hist.max == 2.0
+
+    def test_timer_accumulates_seconds_and_calls(self):
+        registry = MetricsRegistry()
+        for _ in range(3):
+            with registry.timer("phase"):
+                pass
+        assert registry.value("phase_calls") == 3.0
+        assert registry.value("phase_s") >= 0.0
+
+    def test_instruments_are_cached_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+
+
+class TestMergeAndSnapshots:
+    def test_merge_adds_counters_overwrites_gauges(self):
+        local = MetricsRegistry()
+        local.inc("n", 2)
+        local.set("g", 5)
+        target = MetricsRegistry()
+        target.inc("n", 1)
+        target.set("g", 1)
+        target.merge(local)
+        assert target.value("n") == 3.0
+        assert target.value("g") == 5.0
+
+    def test_merge_with_prefix_namespaces_names(self):
+        local = MetricsRegistry()
+        local.inc("simulate_s", 1.5)
+        target = MetricsRegistry()
+        target.merge(local, prefix="inject.phase.")
+        assert target.value("inject.phase.simulate_s") == 1.5
+
+    def test_snapshot_is_json_safe_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("b")
+        registry.inc("a")
+        registry.observe("h", 0.01)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert snapshot["histograms"]["h"]["count"] == 1
+        assert snapshot["histograms"]["h"]["buckets"][0] == [
+            DEFAULT_BUCKETS[0], 0,
+        ]
+
+    def test_merge_snapshots_sums_counters_keeps_max_gauge(self):
+        one = MetricsRegistry()
+        one.inc("acks", 3)
+        one.set("depth", 9)
+        one.observe("lat", 0.2)
+        two = MetricsRegistry()
+        two.inc("acks", 4)
+        two.set("depth", 2)
+        two.observe("lat", 0.9)
+        merged = merge_snapshots([one.snapshot(), two.snapshot()])
+        assert merged["counters"]["acks"] == 7.0
+        assert merged["gauges"]["depth"] == 9.0
+        assert merged["histograms"]["lat"]["count"] == 2
+        assert merged["histograms"]["lat"]["sum"] == pytest.approx(1.1)
+
+    def test_process_registry_reset(self):
+        registry = reset_metrics()
+        registry.inc("k")
+        assert get_registry() is registry
+        fresh = reset_metrics()
+        assert fresh.value("k") == 0.0
+
+
+class TestPrometheus:
+    def test_render_covers_all_instrument_kinds(self):
+        registry = MetricsRegistry()
+        registry.inc("queue.acks", 4)
+        registry.set("queue.depth.queued", 2)
+        registry.observe("queue.job_s", 0.2)
+        page = render_prometheus(registry.snapshot())
+        assert "# TYPE queue_acks counter" in page
+        assert "queue_acks 4" in page
+        assert "# TYPE queue_depth_queued gauge" in page
+        assert 'queue_job_s_bucket{le="+Inf"} 1' in page
+        assert "queue_job_s_count 1" in page
+        assert page.endswith("\n")
+
+    def test_names_are_prometheus_legal(self):
+        registry = MetricsRegistry()
+        registry.inc("a.b-c.d", 1)
+        page = render_prometheus(registry.snapshot())
+        assert "a_b_c_d 1" in page

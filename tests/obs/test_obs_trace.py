@@ -1,0 +1,226 @@
+"""Trace schema round-trip and span nesting/ordering invariants."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import TraceError
+from repro.io.trace_codec import (
+    KIND_META,
+    KIND_SPAN,
+    TRACE_SCHEMA_VERSION,
+    decode_trace_event,
+    encode_trace_event,
+    iter_trace_events,
+    trace_files,
+    validate_trace_event,
+)
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Every test starts and ends with tracing off and fresh metrics."""
+    obs.disable_tracing()
+    obs.reset_metrics()
+    yield
+    obs.disable_tracing()
+    obs.reset_metrics()
+
+
+class TestCodec:
+    def test_span_event_round_trips(self):
+        event = {
+            "v": TRACE_SCHEMA_VERSION,
+            "run": "abc",
+            "kind": KIND_SPAN,
+            "ts": 12.5,
+            "name": "schedule",
+            "id": 3,
+            "parent": 1,
+            "dur": 0.25,
+            "status": "ok",
+            "attrs": {"tier": "exhaustive"},
+        }
+        assert decode_trace_event(encode_trace_event(event)) == event
+
+    def test_encoding_is_single_compact_sorted_line(self):
+        line = encode_trace_event({
+            "v": 1, "run": "r", "kind": "event", "ts": 0.0, "name": "x",
+        })
+        assert "\n" not in line
+        keys = list(json.loads(line))
+        assert keys == sorted(keys)
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(TraceError, match="version"):
+            validate_trace_event({
+                "v": 999, "run": "r", "kind": "event", "ts": 0.0, "name": "x",
+            })
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(TraceError, match="span"):
+            validate_trace_event({
+                "v": 1, "run": "r", "kind": "span", "ts": 0.0, "name": "x",
+            })
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TraceError, match="kind"):
+            validate_trace_event({
+                "v": 1, "run": "r", "kind": "nope", "ts": 0.0,
+            })
+
+    def test_iter_trace_events_reports_file_and_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("this is not json\n")
+        with pytest.raises(TraceError, match=r"t\.jsonl:1"):
+            list(iter_trace_events(str(path)))
+
+    def test_trace_files_discovers_worker_shards(self, tmp_path):
+        base = tmp_path / "run.jsonl"
+        base.write_text("")
+        (tmp_path / "run.jsonl.w1").write_text("")
+        (tmp_path / "run.jsonl.w0").write_text("")
+        files = trace_files(str(base))
+        assert files == [
+            str(base), str(base) + ".w0", str(base) + ".w1",
+        ]
+
+    def test_trace_files_missing_path_raises(self, tmp_path):
+        with pytest.raises(TraceError, match="no trace file"):
+            trace_files(str(tmp_path / "absent.jsonl"))
+
+
+class TestTracer:
+    def read(self, path):
+        return list(iter_trace_events(str(path)))
+
+    def test_meta_line_written_on_open(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(str(path), worker="w0", label="unit")
+        tracer.close()
+        events = self.read(path)
+        assert events[0]["kind"] == KIND_META
+        assert events[0]["worker"] == "w0"
+        assert events[0]["label"] == "unit"
+        assert events[0]["run"] == tracer.run_id
+
+    def test_children_precede_parents_and_link_back(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(str(path))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("second"):
+                pass
+        tracer.close()
+        spans = [e for e in self.read(path) if e["kind"] == KIND_SPAN]
+        names = [span["name"] for span in spans]
+        # Spans are written on exit: children always precede their parent.
+        assert names == ["inner", "second", "outer"]
+        by_name = {span["name"]: span for span in spans}
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+        assert by_name["second"]["parent"] == by_name["outer"]["id"]
+        assert by_name["outer"]["parent"] is None
+
+    def test_exception_marks_error_status_and_propagates(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(str(path))
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        tracer.close()
+        spans = {
+            e["name"]: e for e in self.read(path) if e["kind"] == KIND_SPAN
+        }
+        assert spans["inner"]["status"] == "error"
+        assert spans["inner"]["error"] == "ValueError"
+        assert spans["outer"]["status"] == "error"
+        # The stack unwound correctly: both spans were closed and durations
+        # recorded despite the exception.
+        assert spans["inner"]["dur"] >= 0.0
+
+    def test_exit_time_attributes_land_in_the_event(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(str(path))
+        with tracer.span("shard", tier="exhaustive") as sp:
+            sp.set(scenarios=55)
+        tracer.close()
+        span = [e for e in self.read(path) if e["kind"] == KIND_SPAN][0]
+        assert span["attrs"] == {"tier": "exhaustive", "scenarios": 55}
+
+    def test_metrics_snapshot_embedded(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        registry = obs.reset_metrics()
+        registry.inc("queue.acks", 2)
+        tracer = Tracer(str(path))
+        tracer.snapshot_metrics(registry)
+        tracer.close()
+        metrics = [e for e in self.read(path) if e["kind"] == "metrics"]
+        assert metrics[0]["snapshot"]["counters"]["queue.acks"] == 2.0
+
+    def test_every_event_validates_against_schema(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(str(path))
+        with tracer.span("a", x=1):
+            tracer.event("ping", y=2)
+        tracer.snapshot_metrics(obs.get_registry())
+        tracer.close()
+        # iter_trace_events validates every line; no raise == schema-clean.
+        events = self.read(path)
+        assert {e["kind"] for e in events} == {
+            "meta", "span", "event", "metrics",
+        }
+
+
+class TestModuleLevelApi:
+    def test_disabled_by_default_and_null_ops(self):
+        assert not obs.enabled()
+        with obs.span("anything", attr=1) as sp:
+            sp.set(more=2)  # all no-ops, nothing raises, nothing written
+        obs.event("nothing")
+        obs.snapshot_metrics()
+
+    def test_enable_disable_cycle(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = obs.enable_tracing(str(path), worker="driver")
+        assert obs.enabled() and obs.tracer() is tracer
+        with obs.span("root"):
+            pass
+        obs.disable_tracing()
+        assert not obs.enabled()
+        spans = [
+            e for e in iter_trace_events(str(path)) if e["kind"] == KIND_SPAN
+        ]
+        assert [s["name"] for s in spans] == ["root"]
+
+    def test_export_env_and_adopt_roundtrip(self, tmp_path, monkeypatch):
+        path = tmp_path / "t.jsonl"
+        driver = obs.enable_tracing(str(path), export_env=True)
+        run_id = driver.run_id
+        import os
+
+        assert os.environ[obs.TRACE_PATH_ENV] == str(path)
+        assert os.environ[obs.TRACE_RUN_ENV] == run_id
+        # Simulate the spawned worker process: no active tracer.
+        obs._TRACER = obs.NULL_TRACER
+        monkeypatch.setenv(obs.TRACE_PATH_ENV, str(path))
+        monkeypatch.setenv(obs.TRACE_RUN_ENV, run_id)
+        worker = obs.adopt_env_tracing("w7")
+        assert worker is not None
+        assert worker.run_id == run_id
+        assert worker.path == obs.worker_trace_path(str(path), "w7")
+        obs.disable_tracing()
+
+    def test_adopt_without_env_is_none(self, monkeypatch):
+        monkeypatch.delenv(obs.TRACE_PATH_ENV, raising=False)
+        assert obs.adopt_env_tracing("w0") is None
+
+    def test_worker_trace_path_sanitizes(self):
+        assert obs.worker_trace_path("/tmp/t.jsonl", "host/1:2") == (
+            "/tmp/t.jsonl.host-1-2"
+        )

@@ -1,0 +1,120 @@
+"""Tracing only observes: traced runs produce byte-identical results.
+
+The telemetry layer's core contract — enabling ``--trace`` must not
+change a single decision.  These tests run the same workload with
+tracing off and on and require the produced artifacts (schedule records,
+costs, injection aggregates) to be *equal*, not merely close, modulo the
+wall-clock fields that can never be deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.model.application import Application
+from repro.model.architecture import homogeneous_architecture
+from repro.model.fault import FaultModel
+from repro.opt.strategy import OptimizationConfig, optimize
+
+from tests.conftest import make_graph
+from tests.inject.conftest import build_target
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable_tracing()
+    obs.reset_metrics()
+    yield
+    obs.disable_tracing()
+    obs.reset_metrics()
+
+
+def _small_problem():
+    processes = {
+        f"P{i}": {"N1": 40.0 + i, "N2": 45.0 + i} for i in range(4)
+    }
+    edges = [(f"P{i}", f"P{i+1}", 1) for i in range(3)]
+    app = Application([make_graph(processes, edges)])
+    return app, homogeneous_architecture(2), FaultModel(k=1, mu=5.0)
+
+
+def _optimize_once():
+    app, arch, faults = _small_problem()
+    cfg = OptimizationConfig(
+        greedy_max_iterations=8, tabu_max_iterations=8, rounds=1
+    )
+    return optimize(app, arch, faults, "MXR", cfg)
+
+
+def _sweep_once():
+    from repro.inject.driver import run_inject_sweep
+    from repro.inject.importance import importance_scenarios
+    from repro.inject.plan import plan_sweep
+    from repro.inject.space import ScenarioSpace
+
+    target = build_target(n_processes=8, n_nodes=2, k=2, seed=0, replicas=1)
+    context = target.build_context()
+    space = ScenarioSpace.of(context.ft, target.faults.k)
+    ranked = importance_scenarios(target.record, context.ft, target.faults.k)
+    plan = plan_sweep(
+        space, len(ranked), budget=100_000, shard_size=64, seed=0,
+        tier="auto",
+    )
+    aggregate, _ = run_inject_sweep(target, plan)
+    return aggregate
+
+
+def _strip_wall_clock(summary: dict) -> dict:
+    """Deep copy minus the fields that legitimately vary run to run."""
+    data = json.loads(json.dumps(summary))
+    data["elapsed_s"] = 0.0
+    data["phase_s"] = {name: 0.0 for name in data["phase_s"]}
+    data["scenarios_per_sec"] = 0.0
+    return data
+
+
+class TestOptimizeParity:
+    def test_traced_equals_untraced(self, tmp_path):
+        untraced = _optimize_once()
+
+        obs.enable_tracing(str(tmp_path / "t.jsonl"))
+        try:
+            traced = _optimize_once()
+        finally:
+            obs.disable_tracing()
+
+        # The winning schedule is the byte-identical record.
+        assert traced.schedule.record == untraced.schedule.record
+        assert traced.cost == untraced.cost
+        assert traced.variant == untraced.variant
+        # Search took the exact same path, not just the same destination.
+        assert traced.evaluations == untraced.evaluations
+        assert traced.cache_hits == untraced.cache_hits
+        assert traced.iterations == untraced.iterations
+        assert traced.stage_costs == untraced.stage_costs
+
+
+class TestInjectParity:
+    def test_traced_sweep_equals_untraced(self, tmp_path):
+        untraced = _sweep_once()
+
+        obs.enable_tracing(str(tmp_path / "t.jsonl"), label="parity")
+        try:
+            traced = _sweep_once()
+        finally:
+            obs.disable_tracing()
+
+        assert _strip_wall_clock(traced.to_dict()) == _strip_wall_clock(
+            untraced.to_dict()
+        )
+        # Spot-check the decision-carrying fields directly too.
+        assert traced.violation_scenarios == untraced.violation_scenarios
+        assert traced.class_counts == untraced.class_counts
+        assert {
+            name: ex.order for name, ex in traced.exemplars.items()
+        } == {
+            name: ex.order for name, ex in untraced.exemplars.items()
+        }

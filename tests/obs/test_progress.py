@@ -1,0 +1,83 @@
+"""The shared progress reporter keeps the historical line format."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro import obs
+from repro.obs.progress import ProgressReporter, format_elapsed
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable_tracing()
+    obs.reset_metrics()
+    yield
+    obs.disable_tracing()
+    obs.reset_metrics()
+
+
+class TestFormatElapsed:
+    def test_under_a_minute_is_tenths(self):
+        assert format_elapsed(3.24) == "3.2s"
+        assert format_elapsed(0.0) == "0.0s"
+        assert format_elapsed(59.94) == "59.9s"
+
+    def test_over_a_minute_is_minutes_and_padded_seconds(self):
+        assert format_elapsed(63.4) == "1m03.4s"
+        assert format_elapsed(754.26) == "12m34.3s"
+
+
+class TestProgressReporter:
+    def test_line_shape_matches_the_drivers(self):
+        lines = []
+        reporter = ProgressReporter(lines.append, total=3)
+        reporter.step("case p10 n3", elapsed_s=3.24)
+        reporter.step("case p10 n4")
+        reporter.step("shard 0:40", elapsed_s=1.0, note="40 scenarios")
+        assert lines == [
+            "[1/3] case p10 n3 (3.2s)",
+            "[2/3] case p10 n4",
+            "[3/3] shard 0:40 (40 scenarios, 1.0s)",
+        ]
+        # The shape the driver tests grep for.
+        assert re.search(r"\(\d+\.\ds\)", lines[0])
+        assert all(re.match(r"\[\d+/3\] ", line) for line in lines)
+
+    def test_steps_counted_into_the_registry(self):
+        reporter = ProgressReporter(None, total=2, metric="queue.results")
+        reporter.step("a")
+        reporter.step("b")
+        assert obs.get_registry().value("queue.results") == 2.0
+
+    def test_none_sink_still_counts(self):
+        reporter = ProgressReporter(None, total=1)
+        reporter.step("quiet")
+        assert reporter.done == 1
+
+    def test_steps_mirrored_into_active_trace(self, tmp_path):
+        from repro.io.trace_codec import iter_trace_events
+
+        path = tmp_path / "t.jsonl"
+        obs.enable_tracing(str(path))
+        reporter = ProgressReporter(None, total=1)
+        reporter.step("traced", elapsed_s=0.5)
+        reporter.announce("resume notice")
+        obs.disable_tracing()
+        events = [
+            e for e in iter_trace_events(str(path)) if e["kind"] == "event"
+        ]
+        names = [e["name"] for e in events]
+        assert names == ["progress", "progress.note"]
+        assert events[0]["attrs"]["step"] == 1
+        assert events[0]["attrs"]["elapsed_s"] == 0.5
+        assert events[1]["attrs"]["description"] == "resume notice"
+
+    def test_announce_is_unnumbered(self):
+        lines = []
+        reporter = ProgressReporter(lines.append, total=5)
+        reporter.announce("resuming: 3 already done")
+        assert lines == ["resuming: 3 already done"]
+        assert reporter.done == 0
